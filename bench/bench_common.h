@@ -1,0 +1,105 @@
+// Shared driver for the figure benchmarks: flag parsing, scheme/thread
+// sweeps, per-figure report assembly. Each fig*.cc binary supplies a
+// workload factory and the figure's panel values; this file does the rest.
+#ifndef RWLE_BENCH_BENCH_COMMON_H_
+#define RWLE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/strings.h"
+#include "src/harness/bench_harness.h"
+#include "src/harness/figure_report.h"
+#include "src/locks/lock_factory.h"
+
+namespace rwle {
+
+struct BenchOptions {
+  std::vector<std::uint32_t> thread_counts;
+  std::uint64_t total_ops = 0;
+  std::vector<std::string> schemes;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+// Parses the common benchmark flags. Defaults are sized for a quick run on
+// a small host; --full selects the paper-scale sweep (more threads, more
+// operations). Returns false if the binary should exit (bad flags/--help).
+inline bool ParseBenchFlags(int argc, char** argv, const std::string& description,
+                            std::uint64_t default_ops, std::uint64_t full_ops,
+                            BenchOptions* out) {
+  std::string threads = "1,2,4,8,16,32";
+  std::string full_threads = "1,2,4,8,16,32,64,80";
+  std::string schemes;
+  std::uint64_t ops = 0;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool full = false;
+
+  FlagSet flags(description);
+  flags.AddString("threads", &threads, "comma-separated thread counts");
+  flags.AddUint("ops", &ops, "total operations per run (0 = default)");
+  flags.AddString("schemes", &schemes,
+                  "comma-separated scheme names (default: the figure's set)");
+  flags.AddUint("seed", &seed, "base RNG seed");
+  flags.AddBool("csv", &csv, "emit CSV instead of ASCII tables");
+  flags.AddBool("full", &full, "paper-scale sweep (more threads and ops)");
+  if (!flags.Parse(argc, argv)) {
+    return false;
+  }
+
+  bool threads_ok = false;
+  out->thread_counts = ParseUintList(full ? full_threads : threads, &threads_ok);
+  if (!threads_ok || out->thread_counts.empty()) {
+    std::fprintf(stderr, "bad --threads list\n%s", flags.Usage().c_str());
+    return false;
+  }
+  out->schemes = SplitCommaList(schemes);
+  out->total_ops = ops != 0 ? ops : (full ? full_ops : default_ops);
+  out->seed = seed;
+  out->csv = csv;
+  return true;
+}
+
+// Runs the (scheme x write-ratio x thread-count) grid for one figure.
+// `make_workload` builds a fresh workload; `op` executes one operation on
+// it. The workload is rebuilt per (scheme, ratio) so every scheme starts
+// from an identical state.
+template <typename Workload>
+void RunFigureGrid(
+    const BenchOptions& options, FigureReport* report,
+    const std::vector<double>& write_ratios, const std::vector<std::string>& schemes,
+    const std::function<std::unique_ptr<Workload>()>& make_workload,
+    const std::function<void(Workload&, ElidableLock&, Rng&, bool)>& op) {
+  for (const double ratio : write_ratios) {
+    for (const auto& scheme : schemes) {
+      auto lock = MakeLock(scheme);
+      if (lock == nullptr) {
+        std::fprintf(stderr, "unknown scheme: %s\n", scheme.c_str());
+        continue;
+      }
+      auto workload = make_workload();
+      for (const std::uint32_t threads : options.thread_counts) {
+        RunOptions run;
+        run.threads = threads;
+        run.total_ops = options.total_ops;
+        run.write_ratio = ratio;
+        run.seed = options.seed + threads;
+        const RunResult result = RunBenchmark(
+            run, lock->stats(), [&](std::uint32_t, Rng& rng, bool is_write) {
+              op(*workload, *lock, rng, is_write);
+            });
+        report->Add(scheme, ratio * 100.0, result);
+      }
+    }
+  }
+}
+
+}  // namespace rwle
+
+#endif  // RWLE_BENCH_BENCH_COMMON_H_

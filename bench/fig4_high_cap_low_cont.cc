@@ -1,0 +1,11 @@
+// Figure 4: high capacity pressure, low contention (many buckets).
+// Expected shape: RW-LE wins read-dominated panels; RW-LE_PES pays a
+// serialization toll vs RW-LE_OPT (writers rarely conflict here).
+#include "bench/sensitivity_common.h"
+
+int main(int argc, char** argv) {
+  return rwle::SensitivityMain(argc, argv,
+                               "Figure 4: high capacity, low contention (hashmap l=1024, 200/bucket)",
+                               rwle::HashMapScenario::HighCapacityLowContention(),
+                               /*enable_paging=*/false);
+}

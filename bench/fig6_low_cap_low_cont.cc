@@ -1,0 +1,14 @@
+// Figure 6: low capacity pressure, low contention, with the VM/paging
+// interrupt model active (sparse accesses over many buckets keep faulting).
+// Expected shape: HLE shows almost no capacity aborts but a spiking rate of
+// "HTM non-tx" (interrupt) aborts; RW-LE readers are immune because they
+// never speculate, giving up to order-of-magnitude gains; RW-LE_PES pays
+// ~2x vs RW-LE_OPT for serializing writers in this low-conflict setting.
+#include "bench/sensitivity_common.h"
+
+int main(int argc, char** argv) {
+  return rwle::SensitivityMain(argc, argv,
+                               "Figure 6: low capacity, low contention + paging (hashmap l=4096, 50/bucket)",
+                               rwle::HashMapScenario::LowCapacityLowContention(),
+                               /*enable_paging=*/true);
+}

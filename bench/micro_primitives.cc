@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) for the primitive costs underlying
+// the figures: fabric accesses, transaction begin/commit, lock entry paths,
+// quiescence. These are simulator costs, not hardware costs -- they bound
+// how much of a figure's time is framework overhead versus modeled effects.
+#include <benchmark/benchmark.h>
+
+#include "src/common/thread_registry.h"
+#include "src/locks/br_lock.h"
+#include "src/locks/hle_lock.h"
+#include "src/locks/rw_lock.h"
+#include "src/locks/sgl_lock.h"
+#include "src/memory/tx_var.h"
+#include "src/rwle/rwle_lock.h"
+
+namespace rwle {
+namespace {
+
+void BM_NonTxLoad(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Load());
+  }
+}
+BENCHMARK(BM_NonTxLoad);
+
+void BM_NonTxStore(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  TxVar<std::uint64_t> cell(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    cell.Store(++i);
+  }
+}
+BENCHMARK(BM_NonTxStore);
+
+void BM_HtmTxRoundTrip(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  TxVar<std::uint64_t> cell(1);
+  HtmRuntime& runtime = HtmRuntime::Global();
+  for (auto _ : state) {
+    runtime.TxBegin(TxKind::kHtm);
+    cell.Store(cell.Load() + 1);
+    runtime.TxCommit();
+  }
+}
+BENCHMARK(BM_HtmTxRoundTrip);
+
+void BM_RotTxRoundTrip(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  TxVar<std::uint64_t> cell(1);
+  HtmRuntime& runtime = HtmRuntime::Global();
+  for (auto _ : state) {
+    runtime.TxBegin(TxKind::kRot);
+    cell.Store(cell.Load() + 1);
+    runtime.TxCommit();
+  }
+}
+BENCHMARK(BM_RotTxRoundTrip);
+
+void BM_SuspendResume(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  TxVar<std::uint64_t> cell(1);
+  HtmRuntime& runtime = HtmRuntime::Global();
+  for (auto _ : state) {
+    runtime.TxBegin(TxKind::kHtm);
+    cell.Store(2);
+    runtime.TxSuspend();
+    runtime.TxResume();
+    runtime.TxCommit();
+  }
+}
+BENCHMARK(BM_SuspendResume);
+
+void BM_RwLeReadSection(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  RwLeLock lock;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    std::uint64_t value = 0;
+    lock.Read([&] { value = cell.Load(); });
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_RwLeReadSection);
+
+void BM_RwLeWriteSectionHtmPath(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  RwLeLock lock;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    lock.Write([&] { cell.Store(cell.Load() + 1); });
+  }
+}
+BENCHMARK(BM_RwLeWriteSectionHtmPath);
+
+void BM_RwLeQuiescenceNoReaders(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  RwLeLock lock;
+  for (auto _ : state) {
+    lock.Synchronize();
+  }
+}
+BENCHMARK(BM_RwLeQuiescenceNoReaders);
+
+void BM_HleReadSection(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  HleLock lock;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    std::uint64_t value = 0;
+    lock.Read([&] { value = cell.Load(); });
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_HleReadSection);
+
+void BM_RwlReadSection(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  RwLock lock;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    std::uint64_t value = 0;
+    lock.Read([&] { value = cell.Load(); });
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_RwlReadSection);
+
+void BM_BrLockReadSection(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  BrLock lock;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    std::uint64_t value = 0;
+    lock.Read([&] { value = cell.Load(); });
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_BrLockReadSection);
+
+void BM_SglSection(benchmark::State& state) {
+  ScopedThreadSlot slot;
+  SglLock lock;
+  TxVar<std::uint64_t> cell(1);
+  for (auto _ : state) {
+    lock.Write([&] { cell.Store(cell.Load() + 1); });
+  }
+}
+BENCHMARK(BM_SglSection);
+
+}  // namespace
+}  // namespace rwle
+
+BENCHMARK_MAIN();

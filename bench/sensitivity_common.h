@@ -1,0 +1,52 @@
+// Shared main() body for the four §4.1 sensitivity figures (hashmap
+// workload, Figures 3-6): each binary picks a scenario and whether the
+// VM/paging interrupt model is active.
+#ifndef RWLE_BENCH_SENSITIVITY_COMMON_H_
+#define RWLE_BENCH_SENSITIVITY_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/memory/paging_model.h"
+#include "src/workloads/hashmap/hashmap_workload.h"
+
+namespace rwle {
+
+inline int SensitivityMain(int argc, char** argv, const std::string& title,
+                           const HashMapScenario& scenario, bool enable_paging) {
+  BenchOptions options;
+  if (!ParseBenchFlags(argc, argv, title, /*default_ops=*/20000, /*full_ops=*/200000,
+                       &options)) {
+    return 1;
+  }
+  const std::vector<std::string> schemes =
+      options.schemes.empty() ? AllLockNames() : options.schemes;
+  const std::vector<double> write_ratios = {0.01, 0.10, 0.90};
+
+  std::unique_ptr<PagingModel> paging;
+  if (enable_paging) {
+    paging = std::make_unique<PagingModel>(PagingModel::Config{});
+    HtmRuntime::Global().set_interrupt_source(paging.get());
+  }
+
+  FigureReport report(title, "% write locks");
+  RunFigureGrid<HashMapWorkload>(
+      options, &report, write_ratios, schemes,
+      [&] { return std::make_unique<HashMapWorkload>(scenario); },
+      [](HashMapWorkload& workload, ElidableLock& lock, Rng& rng, bool is_write) {
+        workload.Op(lock, rng, is_write);
+      });
+
+  std::printf("%s", report.Render(options.csv).c_str());
+  if (paging != nullptr) {
+    std::printf("paging faults injected: %llu\n",
+                static_cast<unsigned long long>(paging->TotalFaults()));
+    HtmRuntime::Global().set_interrupt_source(nullptr);
+  }
+  return 0;
+}
+
+}  // namespace rwle
+
+#endif  // RWLE_BENCH_SENSITIVITY_COMMON_H_

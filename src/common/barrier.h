@@ -1,0 +1,44 @@
+// Sense-reversing start barrier. Used to line up benchmark worker threads so
+// the measured region starts simultaneously. Yields while waiting so it stays
+// live when threads outnumber CPUs.
+#ifndef RWLE_SRC_COMMON_BARRIER_H_
+#define RWLE_SRC_COMMON_BARRIER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cpu.h"
+
+namespace rwle {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants)
+      : participants_(participants), remaining_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks until all participants arrive. Reusable across phases.
+  void Wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    std::uint32_t spins = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      SpinBackoff(spins++);
+    }
+  }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_BARRIER_H_

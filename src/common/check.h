@@ -1,0 +1,34 @@
+// Runtime invariant checking. RWLE_CHECK is always on (these guard simulator
+// invariants whose violation would silently corrupt an experiment);
+// RWLE_DCHECK compiles out in NDEBUG builds.
+#ifndef RWLE_SRC_COMMON_CHECK_H_
+#define RWLE_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rwle {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "RWLE_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace rwle
+
+#define RWLE_CHECK(expr)                                \
+  do {                                                  \
+    if (!(expr)) {                                      \
+      ::rwle::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define RWLE_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define RWLE_DCHECK(expr) RWLE_CHECK(expr)
+#endif
+
+#endif  // RWLE_SRC_COMMON_CHECK_H_

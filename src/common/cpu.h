@@ -1,0 +1,45 @@
+// Low-level CPU helpers shared by every module: pause/yield primitives for
+// spin loops and the cache-line geometry the simulated coherence fabric uses.
+#ifndef RWLE_SRC_COMMON_CPU_H_
+#define RWLE_SRC_COMMON_CPU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace rwle {
+
+// Cache-line geometry of the simulated machine. POWER8 uses 128-byte lines;
+// we keep that so capacity accounting matches the paper's platform.
+inline constexpr std::size_t kCacheLineBytes = 128;
+inline constexpr std::size_t kCacheLineShift = 7;
+
+static_assert((std::size_t{1} << kCacheLineShift) == kCacheLineBytes,
+              "line shift and size must agree");
+
+// Hint to the CPU that we are in a spin-wait loop. On x86 this lowers power
+// and relaxes the pipeline; elsewhere it is a no-op.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Spin-wait backoff that stays live on oversubscribed hosts: after a few
+// pause iterations it yields the CPU so the thread we are waiting on can run.
+// `iteration` is the caller's loop counter.
+inline void SpinBackoff(std::uint32_t iteration) {
+  if (iteration < 16) {
+    CpuRelax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_CPU_H_

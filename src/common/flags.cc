@@ -1,0 +1,166 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rwle {
+namespace {
+
+std::string Repr(std::int64_t v) { return std::to_string(v); }
+std::string Repr(std::uint64_t v) { return std::to_string(v); }
+std::string Repr(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+std::string Repr(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::AddInt(const std::string& name, std::int64_t* target, const std::string& help) {
+  flags_.push_back({name, Kind::kInt, target, help, Repr(*target)});
+}
+
+void FlagSet::AddUint(const std::string& name, std::uint64_t* target, const std::string& help) {
+  flags_.push_back({name, Kind::kUint, target, help, Repr(*target)});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target, const std::string& help) {
+  flags_.push_back({name, Kind::kDouble, target, help, Repr(*target)});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target, const std::string& help) {
+  flags_.push_back({name, Kind::kBool, target, help, Repr(*target)});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target, const std::string& help) {
+  flags_.push_back({name, Kind::kString, target, help, *target});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetValue(const Flag& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return false;
+      }
+      *static_cast<std::int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kUint: {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0' || value.find('-') == 0) {
+        return false;
+      }
+      *static_cast<std::uint64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return false;
+      }
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage().c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   Usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+
+    const Flag* flag = Find(name);
+    // Boolean flags support --name and --no-name shorthand.
+    if (flag == nullptr && name.rfind("no-", 0) == 0) {
+      const Flag* negated = Find(name.substr(3));
+      if (negated != nullptr && negated->kind == Kind::kBool && !have_value) {
+        *static_cast<bool*>(negated->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(), Usage().c_str());
+      return false;
+    }
+    if (!have_value) {
+      if (flag->kind == Kind::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n%s", name.c_str(), Usage().c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!SetValue(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n%s", name.c_str(), value.c_str(),
+                   Usage().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << "  (default: " << flag.default_repr << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rwle

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+// Supports --name=value and --name value, plus boolean --name / --no-name.
+// No global registry: each binary builds a FlagSet, binds variables, parses.
+#ifndef RWLE_SRC_COMMON_FLAGS_H_
+#define RWLE_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rwle {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description);
+
+  // Binds a flag to a caller-owned variable holding its default value.
+  void AddInt(const std::string& name, std::int64_t* target, const std::string& help);
+  void AddUint(const std::string& name, std::uint64_t* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target, const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target, const std::string& help);
+
+  // Parses argv. Returns false (after printing usage) on malformed input or
+  // --help. Unrecognized flags are errors.
+  bool Parse(int argc, char** argv);
+
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kUint, kDouble, kBool, kString };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  static bool SetValue(const Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_FLAGS_H_

@@ -1,0 +1,29 @@
+// Non-owning reference to a callable taking no arguments and returning void.
+// Used by the uniform ElidableLock interface so the benchmark harness can
+// drive any lock implementation without std::function allocations.
+#ifndef RWLE_SRC_COMMON_FUNCTION_REF_H_
+#define RWLE_SRC_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace rwle {
+
+class FunctionRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): intentional
+      : object_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* object) { (*static_cast<std::remove_reference_t<F>*>(object))(); }) {}
+
+  void operator()() const { invoke_(object_); }
+
+ private:
+  void* object_;
+  void (*invoke_)(void*);
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_FUNCTION_REF_H_

@@ -1,0 +1,32 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace rwle {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) {
+  RWLE_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& value : cdf_) {
+    value /= sum;
+  }
+}
+
+std::uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace rwle

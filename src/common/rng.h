@@ -1,0 +1,79 @@
+// Deterministic, per-thread random number generation for workloads and
+// benchmarks. We avoid <random> engines in the hot path: xoshiro256** is a
+// few instructions per draw and reproducible across standard libraries.
+#ifndef RWLE_SRC_COMMON_RNG_H_
+#define RWLE_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rwle {
+
+// SplitMix64: used to expand a single seed into generator state.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. One instance per thread; never shared.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial: true with probability `p_true`.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4];
+};
+
+// Zipf-distributed integers in [0, n). Precomputes the CDF once (O(n) setup,
+// O(log n) per draw); used by TPC-C-style skewed access patterns.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the harness and benchmarks.
+#ifndef RWLE_SRC_COMMON_STOPWATCH_H_
+#define RWLE_SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rwle {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_STOPWATCH_H_

@@ -1,0 +1,36 @@
+// ASCII table / CSV rendering for benchmark output. Each figure binary builds
+// one Table per panel (execution time, abort breakdown, commit breakdown) and
+// prints it; --csv switches to machine-readable output.
+#ifndef RWLE_SRC_COMMON_TABLE_H_
+#define RWLE_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rwle {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> column_headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+  static std::string Pct(double fraction, int precision = 1);
+
+  std::string ToAscii() const;
+  std::string ToCsv() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_TABLE_H_

@@ -1,0 +1,53 @@
+#include "src/common/thread_registry.h"
+
+#include "src/common/check.h"
+
+namespace rwle {
+namespace {
+
+thread_local std::uint32_t tls_thread_slot = kInvalidThreadSlot;
+
+}  // namespace
+
+ThreadRegistry& ThreadRegistry::Global() {
+  static ThreadRegistry registry;
+  return registry;
+}
+
+std::uint32_t ThreadRegistry::Register() {
+  for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
+    bool expected = false;
+    if (in_use_[slot].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      // Raise the scan watermark if this is the highest slot seen so far.
+      std::uint32_t watermark = high_watermark_.load(std::memory_order_relaxed);
+      while (watermark < slot + 1 &&
+             !high_watermark_.compare_exchange_weak(watermark, slot + 1,
+                                                    std::memory_order_acq_rel)) {
+      }
+      return slot;
+    }
+  }
+  RWLE_CHECK(false && "thread registry exhausted (kMaxThreads)");
+  return kInvalidThreadSlot;
+}
+
+void ThreadRegistry::Unregister(std::uint32_t slot) {
+  RWLE_CHECK(slot < kMaxThreads);
+  RWLE_CHECK(in_use_[slot].load(std::memory_order_relaxed));
+  in_use_[slot].store(false, std::memory_order_release);
+}
+
+std::uint32_t CurrentThreadSlot() { return tls_thread_slot; }
+
+ScopedThreadSlot::ScopedThreadSlot() : slot_(ThreadRegistry::Global().Register()) {
+  RWLE_CHECK(tls_thread_slot == kInvalidThreadSlot &&
+             "thread registered twice (nested ScopedThreadSlot)");
+  tls_thread_slot = slot_;
+}
+
+ScopedThreadSlot::~ScopedThreadSlot() {
+  tls_thread_slot = kInvalidThreadSlot;
+  ThreadRegistry::Global().Unregister(slot_);
+}
+
+}  // namespace rwle

@@ -1,0 +1,64 @@
+// Process-wide registry mapping worker threads to dense slot indices.
+// The HTM simulator's conflict tracking, RW-LE's per-thread epoch clocks and
+// the statistics shards are all arrays indexed by slot. Slots are recycled
+// when a thread unregisters, so long test runs do not exhaust the table.
+#ifndef RWLE_SRC_COMMON_THREAD_REGISTRY_H_
+#define RWLE_SRC_COMMON_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rwle {
+
+inline constexpr std::uint32_t kMaxThreads = 128;
+inline constexpr std::uint32_t kInvalidThreadSlot = UINT32_MAX;
+
+class ThreadRegistry {
+ public:
+  // The single process-wide registry.
+  static ThreadRegistry& Global();
+
+  // Claims a free slot. Aborts if more than kMaxThreads threads register.
+  std::uint32_t Register();
+
+  void Unregister(std::uint32_t slot);
+
+  // One past the largest slot ever handed out; scan bound for quiescence and
+  // statistics aggregation.
+  std::uint32_t HighWatermark() const {
+    return high_watermark_.load(std::memory_order_acquire);
+  }
+
+  bool IsInUse(std::uint32_t slot) const {
+    return in_use_[slot].load(std::memory_order_acquire);
+  }
+
+ private:
+  ThreadRegistry() = default;
+
+  std::atomic<bool> in_use_[kMaxThreads] = {};
+  std::atomic<std::uint32_t> high_watermark_{0};
+};
+
+// Returns this thread's slot, or kInvalidThreadSlot if not registered.
+std::uint32_t CurrentThreadSlot();
+
+// RAII registration. Benchmark workers and tests construct one at thread
+// start; everything downstream reads CurrentThreadSlot().
+class ScopedThreadSlot {
+ public:
+  ScopedThreadSlot();
+  ~ScopedThreadSlot();
+
+  ScopedThreadSlot(const ScopedThreadSlot&) = delete;
+  ScopedThreadSlot& operator=(const ScopedThreadSlot&) = delete;
+
+  std::uint32_t slot() const { return slot_; }
+
+ private:
+  std::uint32_t slot_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_COMMON_THREAD_REGISTRY_H_

@@ -1,0 +1,61 @@
+#include "src/harness/bench_harness.h"
+
+#include <thread>
+#include <vector>
+
+#include "src/common/barrier.h"
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_registry.h"
+
+namespace rwle {
+
+RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const OpFn& op) {
+  RWLE_CHECK(options.threads > 0);
+  RWLE_CHECK(options.threads <= kMaxThreads);
+
+  stats.Reset();
+  CostMeter::Global().Reset();
+  CostMeter::Global().set_contention_factor(options.threads);
+
+  SpinBarrier barrier(options.threads + 1);  // workers + timekeeper
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+
+  for (std::uint32_t t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ScopedThreadSlot slot;
+      Rng rng(options.seed * 0x9E3779B97F4A7C15ull + t + 1);
+      std::uint64_t my_ops = options.total_ops / options.threads;
+      if (t < options.total_ops % options.threads) {
+        ++my_ops;
+      }
+      barrier.Wait();  // start line
+      for (std::uint64_t i = 0; i < my_ops; ++i) {
+        const bool is_write = rng.NextBool(options.write_ratio);
+        op(t, rng, is_write);
+      }
+      barrier.Wait();  // finish line
+    });
+  }
+
+  barrier.Wait();
+  Stopwatch stopwatch;
+  barrier.Wait();
+  const double wall = stopwatch.ElapsedSeconds();
+
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  RunResult result;
+  result.threads = options.threads;
+  result.total_ops = options.total_ops;
+  result.wall_seconds = wall;
+  result.cost = CostMeter::Global().Aggregate();
+  result.modeled_seconds = CostMeter::ModeledSeconds(result.cost, options.threads);
+  result.stats = stats.Aggregate();
+  return result;
+}
+
+}  // namespace rwle

@@ -1,0 +1,52 @@
+// Multi-threaded benchmark driver used by every figure binary and by the
+// integration tests: spawns worker threads, lines them up on a barrier,
+// splits a fixed operation count among them, and collects wall time,
+// modeled time (see src/stats/cost_meter.h) and the commit/abort breakdown.
+#ifndef RWLE_SRC_HARNESS_BENCH_HARNESS_H_
+#define RWLE_SRC_HARNESS_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/stats/cost_meter.h"
+#include "src/stats/stats.h"
+
+namespace rwle {
+
+struct RunOptions {
+  std::uint32_t threads = 2;
+  // Total operations across all threads (split evenly; remainder to the
+  // first threads), matching the paper's fixed-work "execution time" plots.
+  std::uint64_t total_ops = 10000;
+  // Probability that an operation takes the write lock ("w" in the paper).
+  double write_ratio = 0.1;
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  std::uint32_t threads = 0;
+  std::uint64_t total_ops = 0;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  CostMeter::Totals cost;
+  ThreadStats stats;
+
+  double ModeledThroughput() const {
+    return modeled_seconds > 0 ? static_cast<double>(total_ops) / modeled_seconds : 0.0;
+  }
+};
+
+// Per-operation callback: thread_index in [0, threads), a per-thread rng,
+// and whether this operation must use the write lock.
+using OpFn = std::function<void(std::uint32_t thread_index, Rng& rng, bool is_write)>;
+
+// Runs the benchmark. Resets and then harvests `stats` (the lock's registry)
+// and the global CostMeter. Worker threads register ScopedThreadSlots; the
+// caller must NOT hold one on the calling thread while the run executes
+// workers (the harness runs ops only on the spawned workers).
+RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const OpFn& op);
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HARNESS_BENCH_HARNESS_H_

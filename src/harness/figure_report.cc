@@ -1,0 +1,160 @@
+#include "src/harness/figure_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/table.h"
+
+namespace rwle {
+namespace {
+
+std::string PanelName(const std::string& label, double value) {
+  std::ostringstream os;
+  os << value << " " << label;
+  return os.str();
+}
+
+}  // namespace
+
+FigureReport::FigureReport(std::string figure_title, std::string panel_label)
+    : title_(std::move(figure_title)), panel_label_(std::move(panel_label)) {}
+
+void FigureReport::Add(const std::string& scheme, double panel_value,
+                       const RunResult& result) {
+  entries_.push_back({scheme, panel_value, result});
+}
+
+std::vector<double> FigureReport::PanelValues() const {
+  std::vector<double> values;
+  for (const auto& entry : entries_) {
+    if (std::find(values.begin(), values.end(), entry.panel_value) == values.end()) {
+      values.push_back(entry.panel_value);
+    }
+  }
+  return values;
+}
+
+std::vector<std::string> FigureReport::Schemes() const {
+  std::vector<std::string> schemes;
+  for (const auto& entry : entries_) {
+    if (std::find(schemes.begin(), schemes.end(), entry.scheme) == schemes.end()) {
+      schemes.push_back(entry.scheme);
+    }
+  }
+  return schemes;
+}
+
+std::vector<std::uint32_t> FigureReport::ThreadCounts() const {
+  std::vector<std::uint32_t> counts;
+  for (const auto& entry : entries_) {
+    if (std::find(counts.begin(), counts.end(), entry.result.threads) == counts.end()) {
+      counts.push_back(entry.result.threads);
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+std::string FigureReport::Render(bool csv) const {
+  std::ostringstream os;
+  os << "==== " << title_ << " ====\n";
+
+  const auto panels = PanelValues();
+  const auto schemes = Schemes();
+  const auto thread_counts = ThreadCounts();
+
+  auto find = [&](const std::string& scheme, double panel,
+                  std::uint32_t threads) -> const RunResult* {
+    for (const auto& entry : entries_) {
+      if (entry.scheme == scheme && entry.panel_value == panel &&
+          entry.result.threads == threads) {
+        return &entry.result;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const double panel : panels) {
+    // Panel 1: execution time (modeled), the paper's headline series.
+    {
+      std::vector<std::string> headers = {"threads"};
+      for (const auto& scheme : schemes) {
+        headers.push_back(scheme);
+      }
+      Table time_table(PanelName(panel_label_, panel) + " -- modeled time (ms)", headers);
+      Table wall_table(PanelName(panel_label_, panel) + " -- wall time (ms)", headers);
+      for (const std::uint32_t threads : thread_counts) {
+        std::vector<std::string> modeled_row = {std::to_string(threads)};
+        std::vector<std::string> wall_row = {std::to_string(threads)};
+        for (const auto& scheme : schemes) {
+          const RunResult* result = find(scheme, panel, threads);
+          modeled_row.push_back(result ? Table::Num(result->modeled_seconds * 1e3) : "-");
+          wall_row.push_back(result ? Table::Num(result->wall_seconds * 1e3) : "-");
+        }
+        time_table.AddRow(modeled_row);
+        wall_table.AddRow(wall_row);
+      }
+      os << (csv ? time_table.ToCsv() : time_table.ToAscii());
+      os << (csv ? wall_table.ToCsv() : wall_table.ToAscii());
+    }
+
+    // Panel 2: abort breakdown (percent of speculative attempts).
+    {
+      std::vector<std::string> headers = {"scheme", "threads"};
+      for (int i = 0; i < kAbortCategoryCount; ++i) {
+        headers.push_back(AbortCategoryName(static_cast<AbortCategory>(i)));
+      }
+      headers.push_back("total");
+      Table abort_table(PanelName(panel_label_, panel) + " -- aborts (% of attempts)",
+                        headers);
+      for (const auto& scheme : schemes) {
+        for (const std::uint32_t threads : thread_counts) {
+          const RunResult* result = find(scheme, panel, threads);
+          if (result == nullptr) {
+            continue;
+          }
+          const double attempts = static_cast<double>(result->stats.TotalCommits() +
+                                                      result->stats.TotalAborts());
+          std::vector<std::string> row = {scheme, std::to_string(threads)};
+          for (int i = 0; i < kAbortCategoryCount; ++i) {
+            const double fraction =
+                attempts > 0 ? result->stats.aborts[i] / attempts : 0.0;
+            row.push_back(Table::Pct(fraction));
+          }
+          row.push_back(Table::Pct(
+              attempts > 0 ? result->stats.TotalAborts() / attempts : 0.0));
+          abort_table.AddRow(row);
+        }
+      }
+      os << (csv ? abort_table.ToCsv() : abort_table.ToAscii());
+    }
+
+    // Panel 3: commit-type breakdown (percent of committed operations).
+    {
+      std::vector<std::string> headers = {"scheme", "threads"};
+      for (int i = 0; i < kCommitPathCount; ++i) {
+        headers.push_back(CommitPathName(static_cast<CommitPath>(i)));
+      }
+      Table commit_table(PanelName(panel_label_, panel) + " -- commits (%)", headers);
+      for (const auto& scheme : schemes) {
+        for (const std::uint32_t threads : thread_counts) {
+          const RunResult* result = find(scheme, panel, threads);
+          if (result == nullptr) {
+            continue;
+          }
+          const double commits = static_cast<double>(result->stats.TotalCommits());
+          std::vector<std::string> row = {scheme, std::to_string(threads)};
+          for (int i = 0; i < kCommitPathCount; ++i) {
+            row.push_back(
+                Table::Pct(commits > 0 ? result->stats.commits[i] / commits : 0.0));
+          }
+          commit_table.AddRow(row);
+        }
+      }
+      os << (csv ? commit_table.ToCsv() : commit_table.ToAscii());
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rwle

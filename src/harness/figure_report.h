@@ -1,0 +1,44 @@
+// Renders the three panels of a paper figure (execution time, abort-rate
+// breakdown, commit-type breakdown) from a grid of benchmark results
+// indexed by (scheme, panel value, thread count).
+#ifndef RWLE_SRC_HARNESS_FIGURE_REPORT_H_
+#define RWLE_SRC_HARNESS_FIGURE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/bench_harness.h"
+
+namespace rwle {
+
+class FigureReport {
+ public:
+  // `panel_label` names the quantity panels sweep over (e.g. "write locks
+  // %"); panels appear in insertion order.
+  FigureReport(std::string figure_title, std::string panel_label);
+
+  void Add(const std::string& scheme, double panel_value, const RunResult& result);
+
+  // Renders all panels: per panel value, a time table (modeled + wall
+  // seconds per scheme x thread count), then abort and commit breakdowns.
+  std::string Render(bool csv = false) const;
+
+ private:
+  struct Entry {
+    std::string scheme;
+    double panel_value;
+    RunResult result;
+  };
+
+  std::vector<double> PanelValues() const;
+  std::vector<std::string> Schemes() const;
+  std::vector<std::uint32_t> ThreadCounts() const;
+
+  std::string title_;
+  std::string panel_label_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HARNESS_FIGURE_REPORT_H_

@@ -1,0 +1,79 @@
+// Abort causes and the exception used to unwind a failed hardware
+// transaction back to the elision retry loop.
+//
+// Real HTM warps control back to the tbegin instruction on abort; a software
+// simulator cannot resurrect the caller's stack frame, so critical sections
+// are closures and aborts are exceptions caught by the elision layer (see
+// DESIGN.md §1). The cause taxonomy mirrors the POWER ISA TM facility as the
+// paper uses it: transient causes (conflicts, interrupts, busy lock) are
+// worth retrying on the same path; persistent causes (capacity) are not.
+#ifndef RWLE_SRC_HTM_ABORT_H_
+#define RWLE_SRC_HTM_ABORT_H_
+
+#include <cstdint>
+#include <exception>
+
+namespace rwle {
+
+enum class TxKind : std::uint8_t {
+  kHtm = 0,  // regular transaction: loads and stores tracked
+  kRot = 1,  // rollback-only transaction: only stores tracked
+};
+
+enum class AbortCause : std::uint8_t {
+  kNone = 0,
+  kConflictTx = 1,     // conflicting access by another transaction
+  kConflictNonTx = 2,  // conflicting access by non-transactional code
+  kCapacityRead = 3,   // read footprint exceeded tracking capacity
+  kCapacityWrite = 4,  // write footprint exceeded tracking capacity
+  kExplicit = 5,       // self-abort (e.g. lock found busy after subscription)
+  kInterrupt = 6,      // page fault / scheduler interrupt (VM subsystem)
+};
+
+// Persistent failures re-occur on retry; the PATH policy switches paths on
+// them immediately (paper, Algorithm 2 lines 32-33).
+constexpr bool IsPersistentAbort(AbortCause cause) {
+  return cause == AbortCause::kCapacityRead || cause == AbortCause::kCapacityWrite;
+}
+
+constexpr const char* AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kConflictTx:
+      return "conflict-tx";
+    case AbortCause::kConflictNonTx:
+      return "conflict-non-tx";
+    case AbortCause::kCapacityRead:
+      return "capacity-read";
+    case AbortCause::kCapacityWrite:
+      return "capacity-write";
+    case AbortCause::kExplicit:
+      return "explicit";
+    case AbortCause::kInterrupt:
+      return "interrupt";
+  }
+  return "unknown";
+}
+
+// Thrown by the shared-memory fabric when the current transaction is (or
+// becomes) doomed. Caught by the elision layer's retry loop; user code in a
+// critical section must let it propagate.
+class TxAbortException : public std::exception {
+ public:
+  TxAbortException(AbortCause cause, TxKind kind) : cause_(cause), kind_(kind) {}
+
+  AbortCause cause() const { return cause_; }
+  TxKind kind() const { return kind_; }
+  bool persistent() const { return IsPersistentAbort(cause_); }
+
+  const char* what() const noexcept override { return AbortCauseName(cause_); }
+
+ private:
+  AbortCause cause_;
+  TxKind kind_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_ABORT_H_

@@ -1,0 +1,84 @@
+// The simulated coherence directory: a fixed-size, hash-indexed table of
+// cache-line slots recording which transaction owns a line for writing and
+// which transactions have it in their read set.
+//
+// Distinct lines may alias to the same slot; that manifests as a false
+// conflict, exactly like way-aliasing in a real L2 TM directory.
+#ifndef RWLE_SRC_HTM_CONFLICT_TABLE_H_
+#define RWLE_SRC_HTM_CONFLICT_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/common/thread_registry.h"
+
+namespace rwle {
+
+// Owner tokens identify (thread slot, transaction epoch) pairs so that a
+// stale owner field left by a doomed transaction can never be confused with
+// that thread's next transaction. Token 0 means "unowned".
+using OwnerToken = std::uint64_t;
+
+constexpr OwnerToken MakeOwnerToken(std::uint32_t thread_slot, std::uint64_t epoch) {
+  return (epoch << 8) | (static_cast<OwnerToken>(thread_slot) + 1);
+}
+
+constexpr std::uint32_t OwnerTokenSlot(OwnerToken token) {
+  return static_cast<std::uint32_t>(token & 0xFF) - 1;
+}
+
+constexpr std::uint64_t OwnerTokenEpoch(OwnerToken token) { return token >> 8; }
+
+class ConflictTable {
+ public:
+  static constexpr std::uint32_t kSlotCountLog2 = 16;
+  static constexpr std::uint32_t kSlotCount = 1u << kSlotCountLog2;
+  static constexpr std::uint32_t kReaderWords = kMaxThreads / 64;
+
+  struct LineSlot {
+    std::atomic<OwnerToken> writer{0};
+    std::atomic<std::uint64_t> readers[kReaderWords] = {};
+  };
+
+  // Maps a shared cell's address to its line slot. Cells within one
+  // 128-byte line share a slot (false sharing is modeled, not hidden).
+  LineSlot& SlotFor(const void* address) {
+    const auto line = reinterpret_cast<std::uintptr_t>(address) >> kCacheLineShift;
+    return slots_[Mix(line) & (kSlotCount - 1)];
+  }
+
+  std::uint32_t IndexFor(const void* address) const {
+    const auto line = reinterpret_cast<std::uintptr_t>(address) >> kCacheLineShift;
+    return static_cast<std::uint32_t>(Mix(line) & (kSlotCount - 1));
+  }
+
+  LineSlot& SlotAt(std::uint32_t index) { return slots_[index]; }
+
+  static void SetReaderBit(LineSlot& slot, std::uint32_t thread_slot) {
+    slot.readers[thread_slot / 64].fetch_or(std::uint64_t{1} << (thread_slot % 64));
+  }
+
+  static void ClearReaderBit(LineSlot& slot, std::uint32_t thread_slot) {
+    slot.readers[thread_slot / 64].fetch_and(~(std::uint64_t{1} << (thread_slot % 64)));
+  }
+
+  static bool TestReaderBit(const LineSlot& slot, std::uint32_t thread_slot) {
+    return (slot.readers[thread_slot / 64].load() >> (thread_slot % 64)) & 1;
+  }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t x) {
+    // Fibonacci-style mixer; cheap and spreads sequential lines.
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  LineSlot slots_[kSlotCount];
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_CONFLICT_TABLE_H_

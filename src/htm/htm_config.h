@@ -1,0 +1,33 @@
+// Configuration of the simulated HTM facility.
+//
+// POWER8's TM facility tracks roughly 8KB of loads and 8KB of stores in the
+// L2 (64 lines of 128 bytes each way). The defaults below are calibrated so
+// that the paper's evaluation scenarios reproduce their abort profiles (see
+// DESIGN.md §3 and EXPERIMENTS.md); both limits are per-transaction and
+// counted in distinct cache lines.
+#ifndef RWLE_SRC_HTM_HTM_CONFIG_H_
+#define RWLE_SRC_HTM_HTM_CONFIG_H_
+
+#include <cstdint>
+
+namespace rwle {
+
+struct HtmConfig {
+  // Maximum distinct cache lines a regular transaction may load before a
+  // persistent capacity abort. ROTs do not track loads and ignore this.
+  std::uint32_t max_read_lines = 64;
+
+  // Maximum distinct cache lines any transaction (HTM or ROT) may store.
+  std::uint32_t max_write_lines = 64;
+
+  // Preemption model: every N-th fabric access of a thread yields the CPU.
+  // On a host with fewer cores than worker threads this recreates the
+  // temporal overlap of critical sections that real parallel hardware has
+  // (without it, short transactions on a 1-CPU host almost never coexist,
+  // and conflict-driven behaviour disappears). 0 disables.
+  std::uint32_t yield_access_period = 64;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_HTM_CONFIG_H_

@@ -1,0 +1,552 @@
+#include "src/htm/htm_runtime.h"
+
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/cpu.h"
+#include "src/htm/preemption.h"
+#include "src/stats/cost_meter.h"
+
+namespace rwle {
+
+HtmRuntime& HtmRuntime::Global() {
+  static HtmRuntime runtime;
+  return runtime;
+}
+
+HtmRuntime::HtmRuntime() {
+  for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
+    contexts_[slot].thread_slot_ = slot;
+  }
+}
+
+TxContext* HtmRuntime::CurrentContext() {
+  const std::uint32_t slot = CurrentThreadSlot();
+  if (slot == kInvalidThreadSlot) {
+    return nullptr;
+  }
+  return &contexts_[slot];
+}
+
+// --- Transaction control ----------------------------------------------------
+
+void HtmRuntime::TxBegin(TxKind kind) {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr && "TxBegin requires a registered thread");
+  const std::uint64_t status = ctx->status_.load();
+  RWLE_CHECK(StatusPhase(status) == TxPhase::kIdle && "nested transactions unsupported");
+
+  ctx->kind_ = kind;
+  ctx->escape_mode_ = false;
+  ctx->write_buffer_.clear();
+  ctx->owned_line_indices_.clear();
+  ctx->read_line_indices_.clear();
+  ctx->counters_.begins[static_cast<int>(kind)]++;
+  CostMeter::Global().Charge(CostModel::kTxBegin);
+  // Same epoch, ACTIVE phase. Plain store is safe: nobody dooms an IDLE
+  // context (TryDoomOwner requires an epoch-matching ACTIVE/SUSPENDED
+  // snapshot, and all footprint bits of epoch e-1 were cleared before the
+  // epoch advanced).
+  ctx->status_.store(PackStatus(StatusEpoch(status), AbortCause::kNone, TxPhase::kActive));
+}
+
+void HtmRuntime::TxCommit() {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr);
+  const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
+  std::uint64_t expected = PackStatus(epoch, AbortCause::kNone, TxPhase::kActive);
+  const std::uint64_t committing = PackStatus(epoch, AbortCause::kNone, TxPhase::kCommitting);
+  if (!ctx->status_.compare_exchange_strong(expected, committing)) {
+    // Lost the race against a doomer (or resumed already-doomed): abort.
+    RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
+    const AbortCause cause = FinishAbort(*ctx);
+    throw TxAbortException(cause, ctx->kind_);
+  }
+
+  // Aggregate-store write-back: conflicting accesses observe COMMITTING and
+  // wait, so the buffer publishes all-or-nothing.
+  for (const auto& [cell, value] : ctx->write_buffer_) {
+    cell->store(value);
+  }
+
+  const OwnerToken token = MakeOwnerToken(ctx->thread_slot_, epoch);
+  for (const std::uint32_t index : ctx->owned_line_indices_) {
+    OwnerToken mine = token;
+    table_.SlotAt(index).writer.compare_exchange_strong(mine, 0);
+  }
+  for (const std::uint32_t index : ctx->read_line_indices_) {
+    ConflictTable::ClearReaderBit(table_.SlotAt(index), ctx->thread_slot_);
+  }
+  ctx->write_buffer_.clear();
+  ctx->owned_line_indices_.clear();
+  ctx->read_line_indices_.clear();
+  ctx->counters_.commits[static_cast<int>(ctx->kind_)]++;
+  CostMeter::Global().Charge(CostModel::kTxCommit);
+  ctx->status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
+}
+
+void HtmRuntime::TxAbort(AbortCause cause) {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr);
+  AbortSelf(*ctx, cause);
+}
+
+void HtmRuntime::TxCancel(AbortCause cause) {
+  TxContext* ctx = CurrentContext();
+  if (ctx == nullptr) {
+    return;
+  }
+  for (;;) {
+    const std::uint64_t status = ctx->status_.load();
+    switch (StatusPhase(status)) {
+      case TxPhase::kIdle:
+        return;
+      case TxPhase::kActive:
+      case TxPhase::kSuspended:
+        if (ctx->CasDoom(status, cause)) {
+          FinishAbort(*ctx);
+          return;
+        }
+        break;  // lost to a concurrent doomer; retry and clean up
+      case TxPhase::kDoomed:
+        FinishAbort(*ctx);
+        return;
+      case TxPhase::kCommitting:
+        RWLE_CHECK(false && "TxCancel during commit");
+        return;
+    }
+  }
+}
+
+void HtmRuntime::TxSuspend() {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr);
+  const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
+  std::uint64_t expected = PackStatus(epoch, AbortCause::kNone, TxPhase::kActive);
+  const std::uint64_t suspended = PackStatus(epoch, AbortCause::kNone, TxPhase::kSuspended);
+  if (!ctx->status_.compare_exchange_strong(expected, suspended)) {
+    // Already doomed: stay doomed. The suspended region still runs
+    // (non-transactionally); the abort surfaces at TxCommit.
+    RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
+  }
+  ctx->escape_mode_ = true;
+}
+
+void HtmRuntime::TxResume() {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr);
+  const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
+  std::uint64_t expected = PackStatus(epoch, AbortCause::kNone, TxPhase::kSuspended);
+  const std::uint64_t active = PackStatus(epoch, AbortCause::kNone, TxPhase::kActive);
+  ctx->escape_mode_ = false;
+  if (!ctx->status_.compare_exchange_strong(expected, active)) {
+    RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
+  }
+}
+
+bool HtmRuntime::InTx() {
+  TxContext* ctx = CurrentContext();
+  return ctx != nullptr && ctx->InActiveTx();
+}
+
+void HtmRuntime::ThrowIfDoomed(TxContext& ctx) {
+  if (StatusPhase(ctx.status_.load()) == TxPhase::kDoomed) {
+    const AbortCause cause = FinishAbort(ctx);
+    throw TxAbortException(cause, ctx.kind_);
+  }
+}
+
+AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
+  const std::uint64_t status = ctx.status_.load();
+  RWLE_CHECK(StatusPhase(status) == TxPhase::kDoomed);
+  const std::uint64_t epoch = StatusEpoch(status);
+  const AbortCause cause = StatusCause(status);
+
+  // Release the write set. CAS, not store: a dead owner's line may already
+  // have been reclaimed by another transaction.
+  const OwnerToken token = MakeOwnerToken(ctx.thread_slot_, epoch);
+  for (const std::uint32_t index : ctx.owned_line_indices_) {
+    OwnerToken mine = token;
+    table_.SlotAt(index).writer.compare_exchange_strong(mine, 0);
+  }
+  for (const std::uint32_t index : ctx.read_line_indices_) {
+    ConflictTable::ClearReaderBit(table_.SlotAt(index), ctx.thread_slot_);
+  }
+  ctx.write_buffer_.clear();
+  ctx.owned_line_indices_.clear();
+  ctx.read_line_indices_.clear();
+  ctx.counters_.aborts[static_cast<int>(ctx.kind_)][static_cast<int>(cause)]++;
+  CostMeter::Global().Charge(CostModel::kTxAbort);
+  // Footprint is clear: safe to advance the epoch and go idle.
+  ctx.status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
+  return cause;
+}
+
+void HtmRuntime::AbortSelf(TxContext& ctx, AbortCause cause) {
+  const std::uint64_t status = ctx.status_.load();
+  const TxPhase phase = StatusPhase(status);
+  if (phase == TxPhase::kActive || phase == TxPhase::kSuspended) {
+    // May lose to a concurrent doomer; either way the transaction is doomed
+    // and FinishAbort picks up whichever cause won.
+    ctx.CasDoom(status, cause);
+  }
+  const AbortCause recorded = FinishAbort(ctx);
+  throw TxAbortException(recorded, ctx.kind_);
+}
+
+// --- Cross-thread dooming ---------------------------------------------------
+
+HtmRuntime::DoomOutcome HtmRuntime::TryDoomOwner(OwnerToken token, AbortCause cause) {
+  TxContext& owner = contexts_[OwnerTokenSlot(token)];
+  std::uint32_t spins = 0;
+  for (;;) {
+    const std::uint64_t status = owner.status_.load();
+    if (StatusEpoch(status) != OwnerTokenEpoch(token)) {
+      return DoomOutcome::kGone;
+    }
+    switch (StatusPhase(status)) {
+      case TxPhase::kIdle:
+        return DoomOutcome::kGone;
+      case TxPhase::kActive:
+      case TxPhase::kSuspended:
+        if (owner.CasDoom(status, cause)) {
+          return DoomOutcome::kDoomed;
+        }
+        SpinBackoff(spins++);
+        break;  // status changed under us; re-evaluate
+      case TxPhase::kCommitting:
+        return DoomOutcome::kCommitting;
+      case TxPhase::kDoomed:
+        return DoomOutcome::kAlreadyDoomed;
+    }
+  }
+}
+
+void HtmRuntime::WaitWhileCommitting(OwnerToken token) {
+  TxContext& owner = contexts_[OwnerTokenSlot(token)];
+  std::uint32_t spins = 0;
+  for (;;) {
+    const std::uint64_t status = owner.status_.load();
+    if (StatusEpoch(status) != OwnerTokenEpoch(token) ||
+        StatusPhase(status) != TxPhase::kCommitting) {
+      return;
+    }
+    SpinBackoff(spins++);
+  }
+}
+
+void HtmRuntime::DoomReaders(ConflictTable::LineSlot& slot, std::uint32_t skip_thread_slot,
+                             AbortCause cause) {
+  for (std::uint32_t word = 0; word < ConflictTable::kReaderWords; ++word) {
+    std::uint64_t bits = slot.readers[word].load();
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const std::uint32_t reader_slot = word * 64 + static_cast<std::uint32_t>(bit);
+      if (reader_slot == skip_thread_slot) {
+        continue;
+      }
+      TxContext& reader = contexts_[reader_slot];
+      std::uint32_t spins = 0;
+      for (;;) {
+        const std::uint64_t status = reader.status_.load();
+        const TxPhase phase = StatusPhase(status);
+        if (phase != TxPhase::kActive && phase != TxPhase::kSuspended) {
+          // Idle/doomed: stale bit about to be cleared. Committing: the
+          // reader already won the race and serializes before this store.
+          break;
+        }
+        // Re-verify the bit, then CAS against the exact snapshot: if the
+        // reader's transaction ended meanwhile, its status changed and the
+        // CAS fails, so we can never doom its *next* transaction.
+        if (!ConflictTable::TestReaderBit(slot, reader_slot)) {
+          break;
+        }
+        if (reader.CasDoom(status, cause)) {
+          break;
+        }
+        SpinBackoff(spins++);
+      }
+    }
+  }
+}
+
+// --- Access fabric ----------------------------------------------------------
+
+PreemptionState& ThreadPreemptionState() {
+  thread_local PreemptionState state;
+  return state;
+}
+
+void HtmRuntime::MaybePreempt(TxContext* ctx) {
+  if (ctx == nullptr || config_.yield_access_period == 0) {
+    return;
+  }
+  if (++ctx->access_counter_ % config_.yield_access_period == 0) {
+    PreemptionState& state = ThreadPreemptionState();
+    if (state.defer_depth > 0) {
+      state.pending = true;  // delivered when the defer scope closes
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void HtmRuntime::MaybeInjectInterrupt(TxContext* ctx, const void* address) {
+  if (interrupt_source_ == nullptr) {
+    return;
+  }
+  const std::uint32_t slot = ctx != nullptr ? ctx->thread_slot_ : kInvalidThreadSlot;
+  if (!interrupt_source_->OnAccess(slot, address)) {
+    return;
+  }
+  if (ctx == nullptr) {
+    return;
+  }
+  const std::uint64_t status = ctx->status_.load();
+  const TxPhase phase = StatusPhase(status);
+  if (phase == TxPhase::kActive) {
+    AbortSelf(*ctx, AbortCause::kInterrupt);  // throws
+  }
+  if (phase == TxPhase::kSuspended) {
+    // Interrupt while suspended dooms the transaction; the suspended
+    // (non-transactional) code keeps running and the abort surfaces at
+    // resume+commit.
+    ctx->CasDoom(status, AbortCause::kInterrupt);
+  }
+}
+
+std::uint64_t HtmRuntime::CellLoad(std::atomic<std::uint64_t>* cell) {
+  CostMeter::Global().Charge(CostModel::kAccess);
+  TxContext* ctx = CurrentContext();
+  MaybeInjectInterrupt(ctx, cell);
+  MaybePreempt(ctx);
+  if (ctx != nullptr) {
+    const TxPhase phase = ctx->phase();
+    if (phase == TxPhase::kActive) {
+      return TxLoad(*ctx, cell);
+    }
+    // A doom that struck mid-attempt must abort at the next access -- it
+    // must never fall through to a direct non-transactional access, which
+    // would leak the dead attempt's control flow into real memory. The
+    // exception is a suspended escape region, which keeps running and
+    // surfaces the abort at resume+commit.
+    if (phase == TxPhase::kDoomed && !ctx->escape_mode_) {
+      ThrowIfDoomed(*ctx);
+    }
+  }
+  return NonTxLoad(ctx, cell);
+}
+
+void HtmRuntime::CellStore(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+  CostMeter::Global().Charge(CostModel::kAccess);
+  TxContext* ctx = CurrentContext();
+  MaybeInjectInterrupt(ctx, cell);
+  MaybePreempt(ctx);
+  if (ctx != nullptr) {
+    const TxPhase phase = ctx->phase();
+    if (phase == TxPhase::kActive) {
+      TxStore(*ctx, cell, value);
+      return;
+    }
+    if (phase == TxPhase::kDoomed && !ctx->escape_mode_) {
+      ThrowIfDoomed(*ctx);  // throws (see CellLoad)
+    }
+  }
+  NonTxStore(ctx, cell, value);
+}
+
+std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cell) {
+  ThrowIfDoomed(ctx);
+
+  // Read-own-writes.
+  if (const auto it = ctx.write_buffer_.find(cell); it != ctx.write_buffer_.end()) {
+    return it->second;
+  }
+
+  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  const OwnerToken my_token = ctx.CurrentToken();
+
+  // Resolve a conflicting write owner (requester wins).
+  std::uint32_t spins = 0;
+  for (;;) {
+    const OwnerToken token = slot.writer.load();
+    if (token == 0 || token == my_token) {
+      break;
+    }
+    if (TryDoomOwner(token, AbortCause::kConflictTx) == DoomOutcome::kCommitting) {
+      WaitWhileCommitting(token);
+    }
+    SpinBackoff(spins++);
+    // Re-read: the dead owner's field may be reclaimed by yet another tx.
+    if (slot.writer.load() == token) {
+      break;  // doomed-but-unreleased owner; its buffer is dead, backing is valid
+    }
+  }
+
+  if (ctx.kind_ == TxKind::kHtm) {
+    if (!ConflictTable::TestReaderBit(slot, ctx.thread_slot_)) {
+      if (ctx.read_line_indices_.size() >= config_.max_read_lines) {
+        AbortSelf(ctx, AbortCause::kCapacityRead);  // throws
+      }
+      ConflictTable::SetReaderBit(slot, ctx.thread_slot_);
+      ctx.read_line_indices_.push_back(table_.IndexFor(cell));
+      // Close the race window: a writer that claimed the line between our
+      // owner check and our bit publication scanned reader bits before we
+      // set ours, so neither side would notice the conflict. Re-check.
+      const OwnerToken token = slot.writer.load();
+      if (token != 0 && token != my_token) {
+        if (TryDoomOwner(token, AbortCause::kConflictTx) == DoomOutcome::kCommitting) {
+          WaitWhileCommitting(token);
+        }
+      }
+    }
+  }
+  // ROT loads are untracked: no reader bit, no capacity, no re-check. A
+  // writer that claims the line after our owner check goes unnoticed --
+  // exactly the weaker ROT semantics the paper builds on.
+  return cell->load();
+}
+
+std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* cell) {
+  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  std::uint32_t spins = 0;
+  for (;;) {
+    const OwnerToken token = slot.writer.load();
+    if (token == 0) {
+      return cell->load();
+    }
+    if (ctx != nullptr && token == ctx->CurrentToken()) {
+      // Own suspended transaction: non-transactional loads of its own write
+      // set see the buffered (speculative) value, like same-thread loads
+      // hitting the transactional L1 lines on real hardware.
+      if (ctx->InSuspendedTx()) {
+        if (const auto it = ctx->write_buffer_.find(cell); it != ctx->write_buffer_.end()) {
+          return it->second;
+        }
+      }
+      return cell->load();
+    }
+    switch (TryDoomOwner(token, AbortCause::kConflictNonTx)) {
+      case DoomOutcome::kCommitting:
+        WaitWhileCommitting(token);
+        SpinBackoff(spins++);
+        continue;  // re-read: backing now holds the committed value
+      case DoomOutcome::kDoomed:
+      case DoomOutcome::kAlreadyDoomed:
+      case DoomOutcome::kGone:
+        // Speculative state discarded; backing holds the pre-tx value.
+        return cell->load();
+    }
+  }
+}
+
+void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell) {
+  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  const OwnerToken my_token = ctx.CurrentToken();
+
+  std::uint32_t spins = 0;
+  for (;;) {
+    OwnerToken current = slot.writer.load();
+    if (current == my_token) {
+      return;  // already own this line
+    }
+    if (current != 0) {
+      switch (TryDoomOwner(current, AbortCause::kConflictTx)) {
+        case DoomOutcome::kCommitting:
+          WaitWhileCommitting(current);
+          SpinBackoff(spins++);
+          continue;
+        case DoomOutcome::kDoomed:
+        case DoomOutcome::kAlreadyDoomed:
+        case DoomOutcome::kGone:
+          // Take over the dead owner's field directly.
+          if (!slot.writer.compare_exchange_strong(current, my_token)) {
+            SpinBackoff(spins++);
+            continue;
+          }
+          break;
+      }
+    } else if (!slot.writer.compare_exchange_strong(current, my_token)) {
+      SpinBackoff(spins++);
+      continue;
+    }
+
+    // Newly claimed: account capacity, then kill all transactional readers
+    // of this line (a store invalidates their read monitors).
+    ctx.owned_line_indices_.push_back(table_.IndexFor(cell));
+    if (ctx.owned_line_indices_.size() > config_.max_write_lines) {
+      AbortSelf(ctx, AbortCause::kCapacityWrite);  // throws; line released in cleanup
+    }
+    DoomReaders(slot, ctx.thread_slot_, AbortCause::kConflictTx);
+    return;
+  }
+}
+
+void HtmRuntime::TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+  ThrowIfDoomed(ctx);
+  ClaimLineForWrite(ctx, cell);
+  ctx.write_buffer_[cell] = value;
+}
+
+bool HtmRuntime::CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expected,
+                         std::uint64_t desired) {
+  CostMeter::Global().Charge(CostModel::kLockOp);
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx == nullptr || !ctx->InActiveTx());
+  if (ctx != nullptr && ctx->phase() == TxPhase::kDoomed && !ctx->escape_mode_) {
+    ThrowIfDoomed(*ctx);  // doomed mid-attempt: abort before touching locks
+  }
+  MaybeInjectInterrupt(ctx, cell);
+
+  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  const std::uint32_t self = ctx != nullptr ? ctx->thread_slot_ : kInvalidThreadSlot;
+
+  std::uint32_t spins = 0;
+  for (;;) {
+    const OwnerToken token = slot.writer.load();
+    if (token == 0) {
+      break;
+    }
+    if (TryDoomOwner(token, AbortCause::kConflictNonTx) == DoomOutcome::kCommitting) {
+      WaitWhileCommitting(token);
+      SpinBackoff(spins++);
+      continue;
+    }
+    break;
+  }
+  if (!cell->compare_exchange_strong(expected, desired)) {
+    return false;
+  }
+  // The store succeeded: invalidate transactional readers (subscribers).
+  DoomReaders(slot, self, AbortCause::kConflictNonTx);
+  return true;
+}
+
+void HtmRuntime::NonTxStore(TxContext* ctx, std::atomic<std::uint64_t>* cell,
+                            std::uint64_t value) {
+  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  const std::uint32_t self = ctx != nullptr ? ctx->thread_slot_ : kInvalidThreadSlot;
+
+  std::uint32_t spins = 0;
+  for (;;) {
+    const OwnerToken token = slot.writer.load();
+    if (token == 0) {
+      break;
+    }
+    // Note: a non-transactional store to the thread's *own* suspended write
+    // set would doom it here; RW-LE never does that and real hardware makes
+    // it undefined, so self-dooming is the conservative choice.
+    if (TryDoomOwner(token, AbortCause::kConflictNonTx) == DoomOutcome::kCommitting) {
+      WaitWhileCommitting(token);
+      SpinBackoff(spins++);
+      continue;
+    }
+    break;
+  }
+  // A store invalidates transactional read monitors on this line.
+  DoomReaders(slot, self, AbortCause::kConflictNonTx);
+  cell->store(value);
+}
+
+}  // namespace rwle

@@ -1,0 +1,153 @@
+// The simulated POWER8 HTM facility: transaction control (begin / commit /
+// abort / suspend / resume, HTM and ROT kinds) plus the shared-memory access
+// fabric every TxVar load/store goes through. The fabric plays the role of
+// the cache-coherence protocol: it is how an *uninstrumented* reader's load
+// dooms a conflicting (possibly suspended) writer transaction.
+//
+// Concurrency protocol summary (full argument in DESIGN.md §3):
+//  - Requester wins: any access that hits another transaction's write set
+//    dooms that transaction; any store that hits a transaction's read set
+//    dooms the reader transaction.
+//  - Commit is aggregate-store: phase ACTIVE -> COMMITTING wins the race
+//    against doomers; accesses that lose wait for write-back to finish, so
+//    they observe all of the transaction's stores or none.
+//  - Suspended transactions keep their footprint monitored; their own
+//    accesses while suspended take the non-transactional path.
+#ifndef RWLE_SRC_HTM_HTM_RUNTIME_H_
+#define RWLE_SRC_HTM_HTM_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/thread_registry.h"
+#include "src/htm/abort.h"
+#include "src/htm/conflict_table.h"
+#include "src/htm/htm_config.h"
+#include "src/htm/tx_context.h"
+
+namespace rwle {
+
+// Implemented by the paging model (src/memory/paging_model.h). Called on
+// every fabric access; returns true if the access incurred a page fault /
+// interrupt, which dooms any in-flight transaction of the calling thread.
+class InterruptSource {
+ public:
+  virtual ~InterruptSource() = default;
+  virtual bool OnAccess(std::uint32_t thread_slot, const void* address) = 0;
+};
+
+class HtmRuntime {
+ public:
+  // The process-wide facility (one "machine"). Tests reconfigure it via
+  // set_config between runs; TxVar routes through it unconditionally.
+  static HtmRuntime& Global();
+
+  HtmRuntime();
+  HtmRuntime(const HtmRuntime&) = delete;
+  HtmRuntime& operator=(const HtmRuntime&) = delete;
+
+  const HtmConfig& config() const { return config_; }
+  // Must not be called while any transaction is in flight.
+  void set_config(const HtmConfig& config) { config_ = config; }
+
+  // Interrupt injection (paging model). Null disables it.
+  void set_interrupt_source(InterruptSource* source) { interrupt_source_ = source; }
+  InterruptSource* interrupt_source() const { return interrupt_source_; }
+
+  // Context of the calling thread, or nullptr if the thread never
+  // registered a ScopedThreadSlot.
+  TxContext* CurrentContext();
+  TxContext& ContextAt(std::uint32_t thread_slot) { return contexts_[thread_slot]; }
+
+  // --- Transaction control (operates on the calling thread's context) ---
+
+  // Starts a transaction of the given kind. The calling thread must be
+  // registered and must not already be in a transaction.
+  void TxBegin(TxKind kind);
+
+  // Commits the current transaction, atomically publishing its buffered
+  // stores. Throws TxAbortException if the transaction was doomed.
+  void TxCommit();
+
+  // Self-aborts the current transaction with the given cause and throws.
+  [[noreturn]] void TxAbort(AbortCause cause);
+
+  // Like TxAbort but does not throw; used to unwind cleanly when a foreign
+  // exception propagates out of a speculative critical section. No-op if no
+  // transaction is live.
+  void TxCancel(AbortCause cause = AbortCause::kExplicit);
+
+  // Suspends / resumes the current transaction (POWER8 tsuspend./tresume.).
+  // While suspended, the thread's accesses are non-transactional but the
+  // transaction's footprint stays monitored; conflicts doom it and the
+  // doom surfaces at TxCommit.
+  void TxSuspend();
+  void TxResume();
+
+  // True if the calling thread is between TxBegin and TxCommit and not
+  // suspended (i.e. its accesses are transactional).
+  bool InTx();
+
+  // --- Shared-memory access fabric (used by TxVar) ---
+
+  std::uint64_t CellLoad(std::atomic<std::uint64_t>* cell);
+  void CellStore(std::atomic<std::uint64_t>* cell, std::uint64_t value);
+
+  // Non-transactional compare-and-swap on a fabric cell, used by lock
+  // acquisition paths (never called inside a transaction). On success it
+  // dooms every transaction that subscribed to (transactionally read) the
+  // cell's line -- the "acquiring the lock aborts all fast-path
+  // transactions" semantics HLE relies on.
+  bool CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expected,
+               std::uint64_t desired);
+
+  ConflictTable& conflict_table() { return table_; }
+
+ private:
+  enum class DoomOutcome {
+    kDoomed,         // this call doomed the owner
+    kAlreadyDoomed,  // owner already dead; speculative state discarded
+    kGone,           // token is stale; owner's transaction already ended
+    kCommitting,     // owner is writing back; caller must wait
+  };
+
+  DoomOutcome TryDoomOwner(OwnerToken token, AbortCause cause);
+  void DoomReaders(ConflictTable::LineSlot& slot, std::uint32_t skip_thread_slot,
+                   AbortCause cause);
+  void WaitWhileCommitting(OwnerToken token);
+
+  std::uint64_t TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cell);
+  std::uint64_t NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* cell);
+  void TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value);
+  void NonTxStore(TxContext* ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value);
+
+  // Claims write ownership of the cell's line for ctx (dooming conflicting
+  // transactions) and records it in the write set.
+  void ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell);
+
+  // Throws (after cleanup) if ctx has been doomed by another thread.
+  void ThrowIfDoomed(TxContext& ctx);
+
+  // Releases footprint, discards the buffer, advances the epoch. Returns
+  // the recorded abort cause.
+  AbortCause FinishAbort(TxContext& ctx);
+
+  [[noreturn]] void AbortSelf(TxContext& ctx, AbortCause cause);
+
+  // Calls the interrupt source; on a fault with a live transaction, dooms
+  // it (and throws if the transaction is currently active).
+  void MaybeInjectInterrupt(TxContext* ctx, const void* address);
+
+  // Preemption model: yields every config_.yield_access_period accesses so
+  // critical sections overlap in time even on hosts with few cores.
+  void MaybePreempt(TxContext* ctx);
+
+  HtmConfig config_;
+  ConflictTable table_;
+  TxContext contexts_[kMaxThreads];
+  InterruptSource* interrupt_source_ = nullptr;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_HTM_RUNTIME_H_

@@ -1,0 +1,47 @@
+// Preemption-deferral scope for the fabric's preemption model.
+//
+// The preemption model (HtmConfig::yield_access_period) yields inside
+// fabric accesses so critical sections overlap in time on hosts with fewer
+// cores than worker threads. Left unchecked, it parks *readers* inside
+// their critical sections almost permanently (a reader's only fabric
+// accesses are its in-section loads), which inverts reality: on parallel
+// hardware a read section completes quickly relative to a writer's
+// speculation window. Read-side sections therefore wrap their bodies in a
+// PreemptionDeferScope: the yield is postponed until the scope closes.
+// Writers stay fully preemptible, which is exactly where conflict windows
+// come from.
+#ifndef RWLE_SRC_HTM_PREEMPTION_H_
+#define RWLE_SRC_HTM_PREEMPTION_H_
+
+#include <cstdint>
+#include <thread>
+
+namespace rwle {
+
+// Owner-thread-only state; see HtmRuntime::MaybePreempt.
+struct PreemptionState {
+  std::uint32_t defer_depth = 0;
+  bool pending = false;
+};
+
+PreemptionState& ThreadPreemptionState();
+
+class PreemptionDeferScope {
+ public:
+  PreemptionDeferScope() { ++ThreadPreemptionState().defer_depth; }
+
+  ~PreemptionDeferScope() {
+    PreemptionState& state = ThreadPreemptionState();
+    if (--state.defer_depth == 0 && state.pending) {
+      state.pending = false;
+      std::this_thread::yield();
+    }
+  }
+
+  PreemptionDeferScope(const PreemptionDeferScope&) = delete;
+  PreemptionDeferScope& operator=(const PreemptionDeferScope&) = delete;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_PREEMPTION_H_

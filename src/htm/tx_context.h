@@ -1,0 +1,135 @@
+// Per-thread transaction context of the simulated HTM facility.
+//
+// The heart of the design is the status word, a single atomic that packs
+//   [ epoch : 48 | abort cause : 8 | phase : 8 ]
+// Every transition in a transaction's life is a CAS on this word, which is
+// what makes cross-thread dooming race-free:
+//   - a conflicting thread dooms a transaction by CAS'ing
+//     (epoch, ACTIVE|SUSPENDED) -> (epoch, cause, DOOMED);
+//   - the owner commits by CAS'ing (epoch, ACTIVE) -> (epoch, COMMITTING),
+//     writing its buffer back, then publishing (epoch+1, IDLE).
+// Because footprint bits in the conflict table are cleared before the epoch
+// advances, a doomer that re-verifies the footprint bit and then CAS'es with
+// the exact status snapshot it read can never kill the thread's *next*
+// transaction (see DESIGN.md §3).
+#ifndef RWLE_SRC_HTM_TX_CONTEXT_H_
+#define RWLE_SRC_HTM_TX_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/htm/abort.h"
+#include "src/htm/conflict_table.h"
+
+namespace rwle {
+
+enum class TxPhase : std::uint8_t {
+  kIdle = 0,
+  kActive = 1,
+  kSuspended = 2,
+  kCommitting = 3,
+  kDoomed = 4,
+};
+
+constexpr std::uint64_t PackStatus(std::uint64_t epoch, AbortCause cause, TxPhase phase) {
+  return (epoch << 16) | (static_cast<std::uint64_t>(cause) << 8) |
+         static_cast<std::uint64_t>(phase);
+}
+
+constexpr TxPhase StatusPhase(std::uint64_t status) {
+  return static_cast<TxPhase>(status & 0xFF);
+}
+
+constexpr AbortCause StatusCause(std::uint64_t status) {
+  return static_cast<AbortCause>((status >> 8) & 0xFF);
+}
+
+constexpr std::uint64_t StatusEpoch(std::uint64_t status) { return status >> 16; }
+
+// Counters a context keeps about its own transactions. Only the owning
+// thread writes them; reporting code reads them between runs.
+struct TxContextCounters {
+  std::uint64_t begins[2] = {0, 0};   // indexed by TxKind
+  std::uint64_t commits[2] = {0, 0};  // indexed by TxKind
+  std::uint64_t aborts[2][8] = {};    // [TxKind][AbortCause]
+
+  void Reset() { *this = TxContextCounters{}; }
+};
+
+class HtmRuntime;
+
+class TxContext {
+ public:
+  TxContext() = default;
+  TxContext(const TxContext&) = delete;
+  TxContext& operator=(const TxContext&) = delete;
+
+  std::uint32_t thread_slot() const { return thread_slot_; }
+  TxKind kind() const { return kind_; }
+
+  TxPhase phase() const { return StatusPhase(status_.load()); }
+  std::uint64_t epoch() const { return StatusEpoch(status_.load()); }
+
+  bool InActiveTx() const { return phase() == TxPhase::kActive; }
+  bool InSuspendedTx() const { return phase() == TxPhase::kSuspended; }
+  bool HasLiveTx() const {
+    const TxPhase p = phase();
+    return p == TxPhase::kActive || p == TxPhase::kSuspended || p == TxPhase::kDoomed;
+  }
+
+  // Token other threads use to name this context's current transaction in
+  // conflict-table writer fields.
+  OwnerToken CurrentToken() const {
+    return MakeOwnerToken(thread_slot_, StatusEpoch(status_.load()));
+  }
+
+  const TxContextCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_.Reset(); }
+
+  // Cross-thread doom attempt against the exact status snapshot `expected`
+  // (which must have phase ACTIVE or SUSPENDED). Returns true if this call
+  // transitioned the transaction to DOOMED.
+  bool CasDoom(std::uint64_t expected, AbortCause cause) {
+    const std::uint64_t doomed =
+        PackStatus(StatusEpoch(expected), cause, TxPhase::kDoomed);
+    return status_.compare_exchange_strong(expected, doomed);
+  }
+
+  std::uint64_t StatusSnapshot() const { return status_.load(); }
+
+ private:
+  friend class HtmRuntime;
+
+  std::atomic<std::uint64_t> status_{PackStatus(0, AbortCause::kNone, TxPhase::kIdle)};
+  std::uint32_t thread_slot_ = kInvalidThreadSlot;
+  TxKind kind_ = TxKind::kHtm;
+
+  // Fabric accesses by this thread, driving the preemption model. Owner
+  // thread only.
+  std::uint64_t access_counter_ = 0;
+
+  // True between TxSuspend and TxResume. Only the owning thread touches it.
+  // Needed because an asynchronous doom overwrites the SUSPENDED phase, yet
+  // the thread's escape actions must keep running non-transactionally (the
+  // abort surfaces at resume+commit, as on real hardware) -- whereas a doom
+  // during *active* execution must abort at the very next fabric access,
+  // never fall through to direct non-transactional writes.
+  bool escape_mode_ = false;
+
+  // Speculative redo buffer: cell -> buffered value. Invisible to other
+  // threads until commit write-back.
+  std::unordered_map<std::atomic<std::uint64_t>*, std::uint64_t> write_buffer_;
+
+  // Conflict-table slot indices this transaction owns (write set) or has
+  // marked with its reader bit (read set); used for release and capacity.
+  std::vector<std::uint32_t> owned_line_indices_;
+  std::vector<std::uint32_t> read_line_indices_;
+
+  TxContextCounters counters_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_TX_CONTEXT_H_

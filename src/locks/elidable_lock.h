@@ -1,0 +1,45 @@
+// Uniform closure-based read-write lock interface used by the benchmark
+// harness and the workloads, so every synchronization scheme from the
+// paper's evaluation (RW-LE variants, HLE, BRLock, RWL, SGL) is
+// interchangeable. Concrete locks expose templated Read/Write for zero-cost
+// direct use; LockAdapter bridges them into this interface.
+#ifndef RWLE_SRC_LOCKS_ELIDABLE_LOCK_H_
+#define RWLE_SRC_LOCKS_ELIDABLE_LOCK_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/function_ref.h"
+#include "src/stats/stats.h"
+
+namespace rwle {
+
+class ElidableLock {
+ public:
+  virtual ~ElidableLock() = default;
+
+  virtual void Read(FunctionRef fn) = 0;
+  virtual void Write(FunctionRef fn) = 0;
+  virtual StatsRegistry& stats() = 0;
+};
+
+template <typename Lock>
+class LockAdapter final : public ElidableLock {
+ public:
+  template <typename... Args>
+  explicit LockAdapter(Args&&... args) : lock_(std::forward<Args>(args)...) {}
+
+  void Read(FunctionRef fn) override { lock_.Read(fn); }
+  void Write(FunctionRef fn) override { lock_.Write(fn); }
+  StatsRegistry& stats() override { return lock_.stats(); }
+
+  Lock& lock() { return lock_; }
+
+ private:
+  Lock lock_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_LOCKS_ELIDABLE_LOCK_H_

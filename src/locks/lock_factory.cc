@@ -1,0 +1,71 @@
+#include "src/locks/lock_factory.h"
+
+#include "src/locks/br_lock.h"
+#include "src/locks/hle_lock.h"
+#include "src/locks/rw_lock.h"
+#include "src/locks/sgl_lock.h"
+#include "src/rwle/rwle_lock.h"
+
+namespace rwle {
+
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
+                                       std::uint32_t max_rot_retries) {
+  RwLePolicy policy;
+  policy.max_htm_retries = max_htm_retries;
+  policy.max_rot_retries = max_rot_retries;
+
+  if (name == "rwle-opt") {
+    policy.variant = RwLeVariant::kOpt;
+    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+  }
+  if (name == "rwle-pes") {
+    policy.variant = RwLeVariant::kPes;
+    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+  }
+  if (name == "rwle-fair") {
+    policy.variant = RwLeVariant::kFair;
+    policy.use_rot = false;  // the Figure 7 configuration
+    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+  }
+  if (name == "rwle-split") {
+    policy.variant = RwLeVariant::kOpt;
+    policy.split_rot_ns_locks = true;
+    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+  }
+  if (name == "rwle-adaptive") {
+    policy.variant = RwLeVariant::kOpt;
+    policy.adaptive = true;
+    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+  }
+  if (name == "rwle-norot") {
+    policy.variant = RwLeVariant::kOpt;
+    policy.use_rot = false;
+    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+  }
+  if (name == "hle") {
+    return std::make_unique<LockAdapter<HleLock>>(max_htm_retries);
+  }
+  if (name == "brlock") {
+    return std::make_unique<LockAdapter<BrLock>>();
+  }
+  if (name == "rwl") {
+    return std::make_unique<LockAdapter<RwLock>>();
+  }
+  if (name == "sgl") {
+    return std::make_unique<LockAdapter<SglLock>>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name) {
+  return MakeLock(name, 5, 5);
+}
+
+const std::vector<std::string>& AllLockNames() {
+  static const std::vector<std::string> names = {
+      "rwle-opt", "rwle-pes", "hle", "brlock", "rwl", "sgl",
+  };
+  return names;
+}
+
+}  // namespace rwle

@@ -1,0 +1,29 @@
+// Creates any of the evaluation's synchronization schemes by name; the
+// figure binaries use this to sweep over schemes uniformly.
+#ifndef RWLE_SRC_LOCKS_LOCK_FACTORY_H_
+#define RWLE_SRC_LOCKS_LOCK_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/locks/elidable_lock.h"
+#include "src/rwle/path_policy.h"
+
+namespace rwle {
+
+// Known names: "rwle-opt", "rwle-pes", "rwle-fair", "rwle-norot" (RW-LE with
+// the ROT fallback disabled, Figure 7), "rwle-split" (split ROT/NS locks, §3.3), "hle", "brlock", "rwl", "sgl".
+// Returns nullptr for unknown names.
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name);
+
+// Same, with explicit retry budgets for the speculative paths.
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
+                                       std::uint32_t max_rot_retries);
+
+// All scheme names, in the order the paper's plots list them.
+const std::vector<std::string>& AllLockNames();
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_LOCKS_LOCK_FACTORY_H_

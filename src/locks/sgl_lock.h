@@ -1,0 +1,72 @@
+// Single global lock (SGL): a test-and-test-and-set spin lock serializing
+// every critical section. The paper's simplest baseline.
+#ifndef RWLE_SRC_LOCKS_SGL_LOCK_H_
+#define RWLE_SRC_LOCKS_SGL_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/stats/cost_meter.h"
+#include "src/stats/stats.h"
+
+namespace rwle {
+
+class SglLock {
+ public:
+  SglLock() = default;
+  SglLock(const SglLock&) = delete;
+  SglLock& operator=(const SglLock&) = delete;
+
+  template <typename Fn>
+  void Read(Fn&& fn) {
+    Execute(fn);
+  }
+
+  template <typename Fn>
+  void Write(Fn&& fn) {
+    Execute(fn);
+  }
+
+  StatsRegistry& stats() { return stats_; }
+
+ private:
+  template <typename Fn>
+  void Execute(Fn&& fn) {
+    Acquire();
+    SerialSectionScope serial_scope(SerialScope::kGlobal);
+    try {
+      fn();
+    } catch (...) {
+      Release();
+      throw;
+    }
+    Release();
+    stats_.RecordCommit(CommitPath::kSerial);
+  }
+
+  void Acquire() {
+    std::uint32_t spins = 0;
+    for (;;) {
+      bool expected = false;
+      if (!locked_.load(std::memory_order_relaxed) &&
+          locked_.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
+        CostMeter::Global().ChargeContended(CostModel::kLockOp);  // central line RMW
+        return;
+      }
+      SpinBackoff(spins++);
+    }
+  }
+
+  void Release() {
+    CostMeter::Global().ChargeContended(CostModel::kLockOp);
+    locked_.store(false, std::memory_order_release);
+  }
+
+  std::atomic<bool> locked_{false};
+  StatsRegistry stats_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_LOCKS_SGL_LOCK_H_

@@ -1,0 +1,85 @@
+// A mutex on a fabric cell, usable both outside and *inside* elided critical
+// sections -- the nested-lock situation of Kyoto Cabinet's per-slot mutexes
+// under its global read-write lock (paper §4.2).
+//
+//  - Outside a transaction: a plain test-and-CAS spin mutex. The CAS dooms
+//    any transaction that subscribed to (or speculatively claimed) the word.
+//  - Inside a *regular* transaction: the acquisition is elided into a
+//    subscription -- the word joins the read set and the transaction
+//    self-aborts if the mutex is busy. A later physical acquirer dooms the
+//    subscriber. This is the serialization HTM gives nested locks for free.
+//  - Inside a *rollback-only* transaction, subscription is useless: ROT
+//    loads are untracked, so a later physical acquirer would never conflict
+//    and the ROT would race the mutex holder on the protected data. The ROT
+//    therefore CLAIMS the word through its write set (a buffered store,
+//    which ROTs do track): any physical acquisition then dooms the ROT, and
+//    the matching unlock buffers the word back to zero so a commit
+//    publishes no net change.
+#ifndef RWLE_SRC_LOCKS_TX_MUTEX_H_
+#define RWLE_SRC_LOCKS_TX_MUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/htm/htm_runtime.h"
+
+namespace rwle {
+
+class TxMutex {
+ public:
+  // How Lock() acquired the mutex; pass the value to Unlock().
+  enum class Acquisition : std::uint8_t {
+    kPhysical = 0,          // real CAS; Unlock stores 0
+    kElidedSubscribed = 1,  // HTM subscription; Unlock is a no-op
+    kElidedClaimed = 2,     // ROT write-set claim; Unlock buffers 0
+  };
+
+  TxMutex() : word_(0) {}
+  TxMutex(const TxMutex&) = delete;
+  TxMutex& operator=(const TxMutex&) = delete;
+
+  Acquisition Lock() {
+    HtmRuntime& runtime = HtmRuntime::Global();
+    if (runtime.InTx()) {
+      if (runtime.CellLoad(&word_) != 0) {
+        // Busy: cannot block inside a transaction (the owner's release
+        // would doom us anyway). Abort and let the elision layer retry.
+        runtime.TxAbort(AbortCause::kExplicit);
+      }
+      TxContext* ctx = runtime.CurrentContext();
+      if (ctx != nullptr && ctx->kind() == TxKind::kRot) {
+        runtime.CellStore(&word_, 1);  // write-set claim (see header comment)
+        return Acquisition::kElidedClaimed;
+      }
+      return Acquisition::kElidedSubscribed;
+    }
+    std::uint32_t spins = 0;
+    for (;;) {
+      if (word_.load(std::memory_order_relaxed) == 0 && runtime.CellCas(&word_, 0, 1)) {
+        return Acquisition::kPhysical;
+      }
+      SpinBackoff(spins++);
+    }
+  }
+
+  void Unlock(Acquisition acquisition) {
+    switch (acquisition) {
+      case Acquisition::kElidedSubscribed:
+        return;  // nothing was physically acquired
+      case Acquisition::kElidedClaimed:
+      case Acquisition::kPhysical:
+        HtmRuntime::Global().CellStore(&word_, 0);
+        return;
+    }
+  }
+
+  bool IsLockedDirect() const { return word_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  mutable std::atomic<std::uint64_t> word_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_LOCKS_TX_MUTEX_H_

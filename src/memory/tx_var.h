@@ -1,0 +1,63 @@
+// TxVar<T>: a shared memory cell routed through the simulated HTM fabric.
+//
+// Every load/store of a TxVar goes through HtmRuntime::CellLoad/CellStore,
+// which plays the role of the cache-coherence protocol: inside a transaction
+// the access is tracked/buffered; outside, it is a plain access that still
+// dooms conflicting transactions (this is what lets RW-LE's uninstrumented
+// readers abort a suspended writer, paper Figure 2).
+//
+// T must be trivially copyable and at most 8 bytes -- the fabric models
+// memory as 64-bit words, like HTM hardware sees memory as words in lines.
+#ifndef RWLE_SRC_MEMORY_TX_VAR_H_
+#define RWLE_SRC_MEMORY_TX_VAR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "src/htm/htm_runtime.h"
+
+namespace rwle {
+
+template <typename T>
+class TxVar {
+  static_assert(std::is_trivially_copyable_v<T>, "TxVar requires trivially copyable T");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t), "TxVar payload must fit in 8 bytes");
+
+ public:
+  TxVar() : bits_(0) {}
+  explicit TxVar(T value) : bits_(Encode(value)) {}
+
+  TxVar(const TxVar&) = delete;
+  TxVar& operator=(const TxVar&) = delete;
+
+  // Coherent load/store through the simulated fabric. Use these for every
+  // access that can race with a critical section.
+  T Load() const { return Decode(HtmRuntime::Global().CellLoad(&bits_)); }
+  void Store(T value) { HtmRuntime::Global().CellStore(&bits_, Encode(value)); }
+
+  // Direct access bypassing the fabric. Only valid while no transaction can
+  // touch this cell (single-threaded setup and post-run verification).
+  T LoadDirect() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  void StoreDirect(T value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+
+ private:
+  static std::uint64_t Encode(T value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    return bits;
+  }
+
+  static T Decode(std::uint64_t bits) {
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+  }
+
+  mutable std::atomic<std::uint64_t> bits_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_MEMORY_TX_VAR_H_

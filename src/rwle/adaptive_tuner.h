@@ -1,0 +1,98 @@
+// Adaptive retry budgets -- an extension in the spirit of the self-tuning
+// HTM work the paper cites ([9], Diegues & Romano): instead of the fixed
+// MAX-HTM/MAX-ROT = 5 the paper settled on, observe a sliding window of
+// write acquisitions and shrink a path's budget when it almost never
+// commits (its retries are pure waste before the inevitable fallback), or
+// grow it back when it succeeds often.
+//
+// Reporting is per-thread sharded; a window owner recomputes budgets every
+// kWindow writes. Budgets are read with relaxed atomics -- staleness is
+// harmless, it only shifts when a writer adopts the new budget.
+#ifndef RWLE_SRC_RWLE_ADAPTIVE_TUNER_H_
+#define RWLE_SRC_RWLE_ADAPTIVE_TUNER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/stats/stats.h"
+
+namespace rwle {
+
+class AdaptiveTuner {
+ public:
+  struct Budgets {
+    std::uint32_t htm;
+    std::uint32_t rot;
+  };
+
+  static constexpr std::uint32_t kMaxBudget = 8;
+  static constexpr std::uint32_t kWindow = 128;
+
+  explicit AdaptiveTuner(std::uint32_t initial_htm = 5, std::uint32_t initial_rot = 5)
+      : htm_budget_(initial_htm), rot_budget_(initial_rot) {}
+
+  Budgets Current() const {
+    return {htm_budget_.load(std::memory_order_relaxed),
+            rot_budget_.load(std::memory_order_relaxed)};
+  }
+
+  // Called once per completed Write acquisition with the path that finally
+  // committed and the number of aborted attempts per speculative path.
+  void ReportWrite(CommitPath committed, std::uint32_t htm_aborts,
+                   std::uint32_t rot_aborts) {
+    if (committed == CommitPath::kHtm) {
+      htm_commits_.fetch_add(1, std::memory_order_relaxed);
+    } else if (committed == CommitPath::kRot) {
+      rot_commits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    htm_aborts_.fetch_add(htm_aborts, std::memory_order_relaxed);
+    rot_aborts_.fetch_add(rot_aborts, std::memory_order_relaxed);
+
+    const std::uint64_t writes = writes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (writes % kWindow == 0) {
+      Retune();
+    }
+  }
+
+ private:
+  void Retune() {
+    const std::uint64_t htm_commits = htm_commits_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t rot_commits = rot_commits_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t htm_aborts = htm_aborts_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t rot_aborts = rot_aborts_.exchange(0, std::memory_order_relaxed);
+
+    AdjustBudget(&htm_budget_, htm_commits, htm_aborts);
+    AdjustBudget(&rot_budget_, rot_commits, rot_aborts);
+  }
+
+  static void AdjustBudget(std::atomic<std::uint32_t>* budget, std::uint64_t commits,
+                           std::uint64_t aborts) {
+    const std::uint64_t attempts = commits + aborts;
+    if (attempts < kWindow / 4) {
+      return;  // too few samples on this path to judge
+    }
+    const double success = static_cast<double>(commits) / attempts;
+    const std::uint32_t current = budget->load(std::memory_order_relaxed);
+    if (success < 0.10) {
+      // The path almost never pays off: spend at most one probe attempt so
+      // the workload can be re-detected if it shifts.
+      if (current > 1) {
+        budget->store(current - 1, std::memory_order_relaxed);
+      }
+    } else if (success > 0.50 && current < kMaxBudget) {
+      budget->store(current + 1, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint32_t> htm_budget_;
+  std::atomic<std::uint32_t> rot_budget_;
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> htm_commits_{0};
+  std::atomic<std::uint64_t> rot_commits_{0};
+  std::atomic<std::uint64_t> htm_aborts_{0};
+  std::atomic<std::uint64_t> rot_aborts_{0};
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_RWLE_ADAPTIVE_TUNER_H_

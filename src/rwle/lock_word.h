@@ -1,0 +1,85 @@
+// The RW-LE global lock word, a fabric cell so hardware transactions can
+// subscribe to it (transactionally load it into their read set): any
+// subsequent acquisition by another thread then dooms the subscriber, the
+// eager-subscription consistency argument of Algorithm 2 line 44.
+//
+// Word layout: [ acquisition version : 56 | state : 8 ]. The version field
+// implements the FAIR variant (paper §3.3); the plain variants ignore it.
+#ifndef RWLE_SRC_RWLE_LOCK_WORD_H_
+#define RWLE_SRC_RWLE_LOCK_WORD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/htm/htm_runtime.h"
+
+namespace rwle {
+
+enum class LockState : std::uint8_t {
+  kFree = 0,
+  kRotLocked = 1,  // a writer executes on the ROT path (readers proceed)
+  kNsLocked = 2,   // a non-speculative writer holds the lock (readers wait)
+};
+
+constexpr LockState LockWordState(std::uint64_t word) {
+  return static_cast<LockState>(word & 0xFF);
+}
+
+constexpr std::uint64_t LockWordVersion(std::uint64_t word) { return word >> 8; }
+
+constexpr std::uint64_t MakeLockWord(std::uint64_t version, LockState state) {
+  return (version << 8) | static_cast<std::uint64_t>(state);
+}
+
+class LockWord {
+ public:
+  LockWord() : cell_(MakeLockWord(0, LockState::kFree)) {}
+
+  // Coherent load through the fabric. Inside a transaction this subscribes
+  // the caller to the lock; outside it is a plain load.
+  std::uint64_t Load() const { return HtmRuntime::Global().CellLoad(&cell_); }
+
+  LockState State() const { return LockWordState(Load()); }
+
+  // Attempts FREE -> `state`, bumping the acquisition version. Returns true
+  // on success; dooms subscribed transactions (they must fall off the fast
+  // path when anyone takes the lock).
+  bool TryAcquire(std::uint64_t observed_free_word, LockState state) {
+    const std::uint64_t desired =
+        MakeLockWord(LockWordVersion(observed_free_word) + 1, state);
+    return HtmRuntime::Global().CellCas(&cell_, observed_free_word, desired);
+  }
+
+  // Test-and-test-and-set acquisition loop. Returns the lock word now held.
+  std::uint64_t Acquire(LockState state) {
+    std::uint32_t spins = 0;
+    for (;;) {
+      const std::uint64_t word = Load();
+      if (LockWordState(word) == LockState::kFree && TryAcquire(word, state)) {
+        return MakeLockWord(LockWordVersion(word) + 1, state);
+      }
+      SpinBackoff(spins++);
+    }
+  }
+
+  // Releases the lock, preserving the version (so FAIR readers that copied
+  // the held word compare correctly against later acquisitions).
+  void Release(std::uint64_t held_word) {
+    HtmRuntime::Global().CellStore(
+        &cell_, MakeLockWord(LockWordVersion(held_word), LockState::kFree));
+  }
+
+  void WaitWhileState(LockState state) const {
+    std::uint32_t spins = 0;
+    while (State() == state) {
+      SpinBackoff(spins++);
+    }
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> cell_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_RWLE_LOCK_WORD_H_

@@ -1,0 +1,160 @@
+#include "src/rwle/rwle_lock.h"
+
+namespace rwle {
+
+RwLeLock::RwLeLock(const RwLePolicy& policy) : policy_(policy) {}
+
+// Algorithm 2 lines 11-17 with the §3.3 entry optimization: optimistically
+// raise the clock first, so the uncontended case costs a single lock-word
+// check; only on collision with a non-speculative writer do we back out,
+// wait, and retry.
+void RwLeLock::ReadEnter(std::uint32_t slot) {
+  for (;;) {
+    clocks_.Enter(slot);
+    if (wlock_.State() != LockState::kNsLocked) {
+      return;
+    }
+    // A non-speculative writer is in (or slipped in): defer to it.
+    clocks_.Exit(slot);
+    wlock_.WaitWhileState(LockState::kNsLocked);
+  }
+}
+
+// FAIR variant (§3.3): publish a copy of the lock word *after* raising the
+// clock, so a writer can tell whether this reader predates its acquisition
+// (copied version < writer's version => wait) or not (=> skip; the reader
+// is itself waiting for the writer to release).
+void RwLeLock::ReadEnterFair(std::uint32_t slot) {
+  clocks_.Enter(slot);
+  std::uint32_t spins = 0;
+  for (;;) {
+    const std::uint64_t word = wlock_.Load();
+    local_locks_[slot].word.store(word, std::memory_order_seq_cst);
+    if (LockWordState(word) != LockState::kNsLocked) {
+      return;
+    }
+    // Wait for this owner to release, then re-copy (the version moved).
+    while (wlock_.Load() == word) {
+      SpinBackoff(spins++);
+    }
+  }
+}
+
+std::uint64_t RwLeLock::AcquireRotPath() {
+  if (!policy_.split_rot_ns_locks) {
+    return wlock_.Acquire(LockState::kRotLocked);
+  }
+  // Split mode: take the dedicated ROT lock, deferring to NS writers. The
+  // re-check closes the race where an NS writer acquires wlock_ between
+  // our check and our CAS; backing off keeps the pair deadlock-free (the
+  // NS path waits for rot_lock_ while holding wlock_).
+  std::uint32_t spins = 0;
+  for (;;) {
+    while (wlock_.State() == LockState::kNsLocked) {
+      SpinBackoff(spins++);
+    }
+    const std::uint64_t held = rot_lock_.Acquire(LockState::kRotLocked);
+    if (wlock_.State() != LockState::kNsLocked) {
+      return held;
+    }
+    rot_lock_.Release(held);
+    SpinBackoff(spins++);
+  }
+}
+
+void RwLeLock::ReleaseRotPath(std::uint64_t held_word) {
+  if (policy_.split_rot_ns_locks) {
+    rot_lock_.Release(held_word);
+  } else {
+    wlock_.Release(held_word);
+  }
+}
+
+std::uint64_t RwLeLock::AcquireNsPath() {
+  const std::uint64_t held = wlock_.Acquire(LockState::kNsLocked);
+  if (policy_.split_rot_ns_locks) {
+    // Drain any in-flight ROT writer; new ones see wlock_ busy and defer.
+    rot_lock_.WaitWhileState(LockState::kRotLocked);
+  }
+  return held;
+}
+
+void RwLeLock::HtmPrologue() {
+  // Line 42: let non-HTM writers finish before starting the transaction.
+  // In split-lock mode only the NS lock gates us: hardware transactions
+  // may run concurrently with a ROT writer (§3.3).
+  std::uint32_t spins = 0;
+  while (wlock_.State() != LockState::kFree) {
+    SpinBackoff(spins++);
+  }
+  HtmRuntime::Global().TxBegin(TxKind::kHtm);
+  // Line 44: eager subscription. The load puts the lock word in our read
+  // set; a writer acquiring any fallback path dooms us instantly.
+  if (wlock_.State() != LockState::kFree) {
+    HtmRuntime::Global().TxAbort(AbortCause::kExplicit);  // throws
+  }
+}
+
+void RwLeLock::HtmEpilogue() {
+  HtmRuntime& runtime = HtmRuntime::Global();
+  runtime.TxSuspend();
+  // While suspended: our speculative stores stay hidden and monitored; the
+  // clock scan below runs non-transactionally (escape actions).
+  clocks_.Synchronize();
+  runtime.TxResume();
+  if (policy_.split_rot_ns_locks) {
+    // Lazy subscription of the ROT lock (§3.3): committing while a ROT
+    // writer is in flight is unsafe (its loads are untracked), so abort;
+    // the transactional load also puts the ROT lock in our read set, so a
+    // ROT acquiring after this check still dooms us before we commit.
+    if (rot_lock_.State() != LockState::kFree) {
+      runtime.TxAbort(AbortCause::kExplicit);  // throws
+    }
+  }
+  runtime.TxCommit();  // throws if a reader/writer doomed us meanwhile
+}
+
+void RwLeLock::RotEpilogue() {
+  clocks_.Synchronize();
+  HtmRuntime::Global().TxCommit();
+}
+
+void RwLeLock::SynchronizeNs(std::uint64_t held_word) {
+  if (policy_.variant != RwLeVariant::kFair) {
+    if (policy_.single_scan_ns_sync) {
+      // Readers are blocked by the NS lock, so one scan suffices (§3.3).
+      clocks_.SynchronizeBlockedReaders();
+    } else {
+      clocks_.Synchronize();
+    }
+    return;
+  }
+
+  // FAIR: wait only for readers that entered before this acquisition
+  // (their published lock-word copy has a smaller version). Readers that
+  // entered after are waiting for our release and must not be waited upon.
+  const std::uint64_t my_version = LockWordVersion(held_word);
+  const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t spins = 0;
+    for (;;) {
+      const std::uint64_t clock = clocks_.Value(i);
+      if (!EpochClocks::IsInCriticalSection(clock)) {
+        break;
+      }
+      const std::uint64_t copied = local_locks_[i].word.load(std::memory_order_seq_cst);
+      if (LockWordVersion(copied) >= my_version) {
+        break;  // reader started after us (or is waiting on us)
+      }
+      // Re-check both conditions: the reader either leaves its critical
+      // section or publishes a fresher lock-word copy.
+      if (clocks_.Value(i) != clock ||
+          local_locks_[i].word.load(std::memory_order_seq_cst) != copied) {
+        continue;
+      }
+      SpinBackoff(spins++);
+    }
+  }
+}
+
+}  // namespace rwle

@@ -1,0 +1,166 @@
+// Execution statistics matching the panels of the paper's figures: a
+// breakdown of how critical sections committed (HTM / ROT / serial lock /
+// uninstrumented read) and why speculative attempts aborted (the six
+// categories in the figures' legends).
+//
+// Counters are sharded per thread slot and written without synchronization
+// by the owning thread; aggregation happens between runs.
+#ifndef RWLE_SRC_STATS_STATS_H_
+#define RWLE_SRC_STATS_STATS_H_
+
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/common/thread_registry.h"
+#include "src/htm/abort.h"
+
+namespace rwle {
+
+enum class CommitPath : std::uint8_t {
+  kHtm = 0,                 // committed as a regular hardware transaction
+  kRot = 1,                 // committed as a rollback-only transaction
+  kSerial = 2,              // executed under the serial (SGL / NS) lock
+  kUninstrumentedRead = 3,  // RW-LE read critical section (no speculation)
+};
+inline constexpr int kCommitPathCount = 4;
+
+constexpr const char* CommitPathName(CommitPath path) {
+  switch (path) {
+    case CommitPath::kHtm:
+      return "HTM";
+    case CommitPath::kRot:
+      return "ROT";
+    case CommitPath::kSerial:
+      return "SGL";
+    case CommitPath::kUninstrumentedRead:
+      return "Uninstrumented";
+  }
+  return "?";
+}
+
+// The abort legend of Figures 3-10.
+enum class AbortCategory : std::uint8_t {
+  kHtmTxConflict = 0,  // "HTM tx": conflict with another hardware transaction
+  kHtmNonTx = 1,       // "HTM non-tx": non-transactional conflict / interrupt
+  kHtmCapacity = 2,    // "HTM capacity"
+  kLockAborts = 3,     // "Lock aborts": global lock busy upon subscription
+  kRotConflict = 4,    // "ROT conflicts"
+  kRotCapacity = 5,    // "ROT capacity"
+};
+inline constexpr int kAbortCategoryCount = 6;
+
+constexpr const char* AbortCategoryName(AbortCategory category) {
+  switch (category) {
+    case AbortCategory::kHtmTxConflict:
+      return "HTM tx";
+    case AbortCategory::kHtmNonTx:
+      return "HTM non-tx";
+    case AbortCategory::kHtmCapacity:
+      return "HTM capacity";
+    case AbortCategory::kLockAborts:
+      return "Lock aborts";
+    case AbortCategory::kRotConflict:
+      return "ROT conflicts";
+    case AbortCategory::kRotCapacity:
+      return "ROT capacity";
+  }
+  return "?";
+}
+
+// Maps an HTM-facility abort to the figure category, given the kind of
+// transaction that died.
+constexpr AbortCategory ClassifyAbort(TxKind kind, AbortCause cause) {
+  if (kind == TxKind::kRot) {
+    if (cause == AbortCause::kCapacityRead || cause == AbortCause::kCapacityWrite) {
+      return AbortCategory::kRotCapacity;
+    }
+    if (cause == AbortCause::kExplicit) {
+      return AbortCategory::kLockAborts;
+    }
+    return AbortCategory::kRotConflict;
+  }
+  switch (cause) {
+    case AbortCause::kConflictTx:
+      return AbortCategory::kHtmTxConflict;
+    case AbortCause::kCapacityRead:
+    case AbortCause::kCapacityWrite:
+      return AbortCategory::kHtmCapacity;
+    case AbortCause::kExplicit:
+      return AbortCategory::kLockAborts;
+    case AbortCause::kConflictNonTx:
+    case AbortCause::kInterrupt:
+    default:
+      return AbortCategory::kHtmNonTx;
+  }
+}
+
+struct ThreadStats {
+  std::uint64_t commits[kCommitPathCount] = {};
+  std::uint64_t aborts[kAbortCategoryCount] = {};
+
+  std::uint64_t TotalCommits() const {
+    std::uint64_t total = 0;
+    for (const auto c : commits) {
+      total += c;
+    }
+    return total;
+  }
+
+  std::uint64_t TotalAborts() const {
+    std::uint64_t total = 0;
+    for (const auto a : aborts) {
+      total += a;
+    }
+    return total;
+  }
+
+  ThreadStats& operator+=(const ThreadStats& other) {
+    for (int i = 0; i < kCommitPathCount; ++i) {
+      commits[i] += other.commits[i];
+    }
+    for (int i = 0; i < kAbortCategoryCount; ++i) {
+      aborts[i] += other.aborts[i];
+    }
+    return *this;
+  }
+};
+
+// One shard per thread slot, cache-line separated.
+class StatsRegistry {
+ public:
+  // The calling thread's shard (requires a registered ScopedThreadSlot).
+  ThreadStats& Local() { return shards_[CurrentThreadSlot()].stats; }
+
+  void RecordCommit(CommitPath path) {
+    Local().commits[static_cast<int>(path)]++;
+  }
+
+  void RecordAbort(TxKind kind, AbortCause cause) {
+    Local().aborts[static_cast<int>(ClassifyAbort(kind, cause))]++;
+  }
+
+  ThreadStats Aggregate() const {
+    ThreadStats total;
+    for (const auto& shard : shards_) {
+      total += shard.stats;
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& shard : shards_) {
+      shard.stats = ThreadStats{};
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Shard {
+    ThreadStats stats;
+  };
+
+  Shard shards_[kMaxThreads];
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_STATS_STATS_H_

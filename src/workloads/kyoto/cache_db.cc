@@ -1,0 +1,303 @@
+#include "src/workloads/kyoto/cache_db.h"
+
+#include "src/htm/htm_runtime.h"
+
+namespace rwle {
+namespace {
+
+// Defensive bound on chain traversals inside speculative whole-database
+// operations: a ROT's untracked loads may observe a chain being rewired by
+// a concurrent record operation, and an unbounded walk could cycle. Hitting
+// the bound aborts the speculation (transient) instead of hanging.
+constexpr std::uint64_t kTraversalBoundFactor = 4;
+
+void AbortIfRunawayTraversal(std::uint64_t steps, std::uint64_t bound) {
+  if (steps > bound && HtmRuntime::Global().InTx()) {
+    HtmRuntime::Global().TxAbort(AbortCause::kConflictTx);
+  }
+}
+
+}  // namespace
+
+CacheDb::CacheDb(const CacheDbConfig& config) : config_(config) {
+  RWLE_CHECK(config_.slots > 0);
+  RWLE_CHECK(config_.buckets_per_slot > 0);
+  slots_.reserve(config_.slots);
+  for (std::uint32_t s = 0; s < config_.slots; ++s) {
+    auto slot = std::make_unique<Slot>();
+    slot->buckets = std::vector<TxVar<Record*>>(config_.buckets_per_slot);
+    slots_.push_back(std::move(slot));
+  }
+  // Initial population, single-threaded. Every possible key gets exactly
+  // one Record object up front: keys not inserted now seed their slot's
+  // free list. AllocRecord therefore never allocates inside a critical
+  // section -- a free-list pop is a TxVar operation, so speculative
+  // attempts roll it back cleanly (no leak, no double-use).
+  Rng rng(config_.initial_records * 2654435761u + 1);
+  const double populate_probability =
+      static_cast<double>(config_.initial_records) / config_.key_space;
+  for (std::uint64_t key = 0; key < config_.key_space; ++key) {
+    Slot& slot = SlotFor(key);
+    Record* record = new Record;
+    if (rng.NextBool(populate_probability)) {
+      TxVar<Record*>& bucket = BucketFor(slot, key);
+      record->key.StoreDirect(key);
+      record->value.StoreDirect(rng.Next());
+      record->next.StoreDirect(bucket.LoadDirect());
+      bucket.StoreDirect(record);
+    } else {
+      record->next.StoreDirect(slot.free_list.LoadDirect());
+      slot.free_list.StoreDirect(record);
+    }
+  }
+}
+
+CacheDb::~CacheDb() {
+  for (auto& slot : slots_) {
+    for (auto& bucket : slot->buckets) {
+      Record* record = bucket.LoadDirect();
+      while (record != nullptr) {
+        Record* next = record->next.LoadDirect();
+        delete record;
+        record = next;
+      }
+    }
+    Record* record = slot->free_list.LoadDirect();
+    while (record != nullptr) {
+      Record* next = record->next.LoadDirect();
+      delete record;
+      record = next;
+    }
+  }
+}
+
+CacheDb::Record* CacheDb::AllocRecord(Slot& slot, std::uint64_t key, std::uint64_t value) {
+  // The constructor provisioned one Record per possible key, so the free
+  // list cannot be empty when a new key is inserted (each key exists at
+  // most once). A TxVar pop rolls back if the enclosing speculation aborts.
+  Record* record = slot.free_list.Load();
+  RWLE_CHECK(record != nullptr);
+  slot.free_list.Store(record->next.Load());
+  record->key.Store(key);
+  record->value.Store(value);
+  record->next.Store(nullptr);
+  return record;
+}
+
+void CacheDb::RecycleRecord(Slot& slot, Record* record) {
+  record->next.Store(slot.free_list.Load());
+  slot.free_list.Store(record);
+}
+
+bool CacheDb::Get(std::uint64_t key, std::uint64_t* value) {
+  Slot& slot = SlotFor(key);
+  const TxMutex::Acquisition acq = slot.mutex.Lock();
+  bool found = false;
+  for (Record* r = BucketFor(slot, key).Load(); r != nullptr; r = r->next.Load()) {
+    if (r->key.Load() == key) {
+      if (value != nullptr) {
+        *value = r->value.Load();
+      }
+      found = true;
+      break;
+    }
+  }
+  slot.mutex.Unlock(acq);
+  return found;
+}
+
+void CacheDb::Set(std::uint64_t key, std::uint64_t value) {
+  Slot& slot = SlotFor(key);
+  const TxMutex::Acquisition acq = slot.mutex.Lock();
+  TxVar<Record*>& bucket = BucketFor(slot, key);
+  Record* existing = nullptr;
+  for (Record* r = bucket.Load(); r != nullptr; r = r->next.Load()) {
+    if (r->key.Load() == key) {
+      existing = r;
+      break;
+    }
+  }
+  if (existing != nullptr) {
+    existing->value.Store(value);
+  } else {
+    Record* record = AllocRecord(slot, key, value);
+    record->next.Store(bucket.Load());
+    bucket.Store(record);
+  }
+  slot.mutex.Unlock(acq);
+}
+
+bool CacheDb::Remove(std::uint64_t key) {
+  Slot& slot = SlotFor(key);
+  const TxMutex::Acquisition acq = slot.mutex.Lock();
+  TxVar<Record*>& bucket = BucketFor(slot, key);
+  Record* prev = nullptr;
+  bool removed = false;
+  for (Record* r = bucket.Load(); r != nullptr; r = r->next.Load()) {
+    if (r->key.Load() == key) {
+      if (prev == nullptr) {
+        bucket.Store(r->next.Load());
+      } else {
+        prev->next.Store(r->next.Load());
+      }
+      RecycleRecord(slot, r);
+      removed = true;
+      break;
+    }
+    prev = r;
+  }
+  slot.mutex.Unlock(acq);
+  return removed;
+}
+
+std::uint64_t CacheDb::IterateSum() {
+  const std::uint64_t bound =
+      kTraversalBoundFactor * (config_.initial_records + config_.key_space);
+  std::uint64_t sum = 0;
+  std::uint64_t steps = 0;
+  for (auto& slot : slots_) {
+    const TxMutex::Acquisition acq = slot->mutex.Lock();
+    for (auto& bucket : slot->buckets) {
+      for (Record* r = bucket.Load(); r != nullptr; r = r->next.Load()) {
+        sum += r->value.Load();
+        AbortIfRunawayTraversal(++steps, bound);
+      }
+    }
+    slot->mutex.Unlock(acq);
+  }
+  return sum;
+}
+
+std::uint64_t CacheDb::Count() {
+  const std::uint64_t bound =
+      kTraversalBoundFactor * (config_.initial_records + config_.key_space);
+  std::uint64_t count = 0;
+  std::uint64_t steps = 0;
+  for (auto& slot : slots_) {
+    const TxMutex::Acquisition acq = slot->mutex.Lock();
+    for (auto& bucket : slot->buckets) {
+      for (Record* r = bucket.Load(); r != nullptr; r = r->next.Load()) {
+        ++count;
+        AbortIfRunawayTraversal(++steps, bound);
+      }
+    }
+    slot->mutex.Unlock(acq);
+  }
+  return count;
+}
+
+std::uint64_t CacheDb::ClearOddValues() {
+  const std::uint64_t bound =
+      kTraversalBoundFactor * (config_.initial_records + config_.key_space);
+  std::uint64_t dropped = 0;
+  std::uint64_t steps = 0;
+  for (auto& slot : slots_) {
+    const TxMutex::Acquisition acq = slot->mutex.Lock();
+    for (auto& bucket : slot->buckets) {
+      Record* prev = nullptr;
+      Record* r = bucket.Load();
+      while (r != nullptr) {
+        AbortIfRunawayTraversal(++steps, bound);
+        Record* next = r->next.Load();
+        if ((r->value.Load() & 1) != 0) {
+          if (prev == nullptr) {
+            bucket.Store(next);
+          } else {
+            prev->next.Store(next);
+          }
+          RecycleRecord(*slot, r);
+          ++dropped;
+        } else {
+          prev = r;
+        }
+        r = next;
+      }
+    }
+    slot->mutex.Unlock(acq);
+  }
+  return dropped;
+}
+
+std::uint64_t CacheDb::VacuumSlot(std::uint64_t cursor) {
+  Slot& slot = *slots_[cursor % slots_.size()];
+  const std::uint64_t first_bucket = (cursor >> 32) % slot.buckets.size();
+  const std::uint64_t bound =
+      kTraversalBoundFactor * (config_.initial_records + config_.key_space);
+  const TxMutex::Acquisition acq = slot.mutex.Lock();
+  std::uint64_t count = 0;
+  std::uint64_t steps = 0;
+  for (std::uint32_t i = 0; i < config_.vacuum_bucket_budget; ++i) {
+    TxVar<Record*>& bucket = slot.buckets[(first_bucket + i) % slot.buckets.size()];
+    for (Record* r = bucket.Load(); r != nullptr; r = r->next.Load()) {
+      ++count;
+      AbortIfRunawayTraversal(++steps, bound);
+    }
+  }
+  slot.vacuum_count.Store(count);
+  slot.mutex.Unlock(acq);
+  return count;
+}
+
+std::uint64_t CacheDb::CountDirect() const {
+  std::uint64_t count = 0;
+  for (const auto& slot : slots_) {
+    for (const auto& bucket : slot->buckets) {
+      for (Record* r = bucket.LoadDirect(); r != nullptr; r = r->next.LoadDirect()) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+bool CacheDb::CheckChainsDirect() const {
+  for (const auto& slot : slots_) {
+    for (std::size_t b = 0; b < slot->buckets.size(); ++b) {
+      std::uint64_t steps = 0;
+      for (Record* r = slot->buckets[b].LoadDirect(); r != nullptr;
+           r = r->next.LoadDirect()) {
+        // Keys must hash to this slot and bucket; chains must be acyclic
+        // (bounded by the total record count).
+        if (++steps > config_.initial_records + config_.key_space) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void KyotoWorkload::Op(ElidableLock& lock, Rng& rng, bool is_write) {
+  if (is_write) {
+    // Maintenance under the outer write lock: mostly single-slot vacuums,
+    // with occasional full-database sweeps (the wicked driver's mix of
+    // cheap and expensive write-mode operations).
+    const std::uint64_t dice = rng.NextBelow(10);
+    if (dice < 7) {
+      const std::uint64_t slot = rng.Next();
+      lock.Write([&] { (void)db_.VacuumSlot(slot); });
+    } else if (dice < 8) {
+      lock.Write([&] { (void)db_.Count(); });
+    } else if (dice < 9) {
+      lock.Write([&] { (void)db_.IterateSum(); });
+    } else {
+      lock.Write([&] { (void)db_.ClearOddValues(); });
+    }
+    return;
+  }
+  // Record operation under the outer read lock (70% get / 20% set / 10%
+  // remove, the wicked bench's flavor of mixed record traffic).
+  const std::uint64_t key = rng.NextBelow(db_.config().key_space);
+  const std::uint64_t dice = rng.NextBelow(10);
+  if (dice < 7) {
+    std::uint64_t value = 0;
+    lock.Read([&] { (void)db_.Get(key, &value); });
+  } else if (dice < 9) {
+    const std::uint64_t value = rng.Next();
+    lock.Read([&] { db_.Set(key, value); });
+  } else {
+    lock.Read([&] { (void)db_.Remove(key); });
+  }
+}
+
+}  // namespace rwle

@@ -1,0 +1,128 @@
+// KyotoCacheDB-lite: an in-memory hash database mirroring Kyoto Cabinet's
+// CacheDB locking structure (paper §4.2): the database is split into slots,
+// each slot a chained hash protected by its own mutex, all nested inside a
+// single global read-write lock.
+//
+//  - Record operations (get/set/remove) take the OUTER lock in READ mode
+//    plus the record's slot mutex -- so with RW-LE they run uninstrumented
+//    and only contend on slot mutexes, exactly the behaviour the paper
+//    reports ("RW-LE scales until the inner mutexes saturate").
+//  - Whole-database operations (iterate/count/clear-expired) take the outer
+//    lock in WRITE mode; the per-figure knob is how often they occur.
+//
+// Values are 8-byte payloads (TxVar cells); record nodes are recycled via a
+// per-slot free list manipulated only under the slot mutex, never freed
+// while speculation can reference them.
+#ifndef RWLE_SRC_WORKLOADS_KYOTO_CACHE_DB_H_
+#define RWLE_SRC_WORKLOADS_KYOTO_CACHE_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/cpu.h"
+#include "src/common/rng.h"
+#include "src/locks/elidable_lock.h"
+#include "src/locks/tx_mutex.h"
+#include "src/memory/tx_var.h"
+
+namespace rwle {
+
+struct CacheDbConfig {
+  std::uint32_t slots = 16;
+  std::uint32_t buckets_per_slot = 256;
+  std::uint32_t initial_records = 8192;
+  std::uint64_t key_space = 16384;
+  // Buckets one VacuumSlot call walks (wicked's incremental maintenance).
+  std::uint32_t vacuum_bucket_budget = 24;
+};
+
+class CacheDb {
+ public:
+  struct alignas(kCacheLineBytes) Record {
+    TxVar<std::uint64_t> key;
+    TxVar<std::uint64_t> value;
+    TxVar<Record*> next;
+  };
+
+  explicit CacheDb(const CacheDbConfig& config);
+  ~CacheDb();
+
+  CacheDb(const CacheDb&) = delete;
+  CacheDb& operator=(const CacheDb&) = delete;
+
+  const CacheDbConfig& config() const { return config_; }
+
+  // ---- Record operations (call under the outer READ lock) ----
+
+  bool Get(std::uint64_t key, std::uint64_t* value);
+  void Set(std::uint64_t key, std::uint64_t value);
+  bool Remove(std::uint64_t key);
+
+  // ---- Whole-database operations (call under the outer WRITE lock) ----
+
+  // Sums every record's value (the `iterate` of the wicked bench).
+  std::uint64_t IterateSum();
+
+  std::uint64_t Count();
+
+  // Drops every record whose value is odd (stand-in for expiry sweeps).
+  std::uint64_t ClearOddValues();
+
+  // Incremental vacuum: walks a window of `vacuum_bucket_budget` buckets
+  // of one slot (a read footprint above HTM capacity, so plain HLE still
+  // goes serial) and records the observed record count in the slot's stats
+  // cell. The most common write-mode op of the wicked driver; its cost is
+  // comparable to record traffic, so the 5-10% write-rate panels are not
+  // swamped by full-database scans. `cursor` selects slot and window.
+  std::uint64_t VacuumSlot(std::uint64_t cursor);
+
+  // ---- Verification (quiescent state only) ----
+  std::uint64_t CountDirect() const;
+  bool CheckChainsDirect() const;
+
+ private:
+  struct Slot {
+    TxMutex mutex;
+    std::vector<TxVar<Record*>> buckets;
+    // Free list of recycled records; only touched under the slot mutex.
+    TxVar<Record*> free_list{nullptr};
+    // Maintenance statistic written by VacuumSlot.
+    TxVar<std::uint64_t> vacuum_count{0};
+  };
+
+  Slot& SlotFor(std::uint64_t key) {
+    return *slots_[(key * 0x9E3779B97F4A7C15ull >> 32) % slots_.size()];
+  }
+  TxVar<Record*>& BucketFor(Slot& slot, std::uint64_t key) {
+    return slot.buckets[key % slot.buckets.size()];
+  }
+
+  // Allocate/recycle under the slot mutex.
+  Record* AllocRecord(Slot& slot, std::uint64_t key, std::uint64_t value);
+  void RecycleRecord(Slot& slot, Record* record);
+
+  CacheDbConfig config_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+// The wicked-style driver: random record operations with an occasional
+// whole-database operation; `is_write` (the harness's write-lock flag)
+// selects the whole-database ops, matching the paper's <1% / 5% / 10%
+// outer-write-rate workloads.
+class KyotoWorkload {
+ public:
+  explicit KyotoWorkload(const CacheDbConfig& config = CacheDbConfig{}) : db_(config) {}
+
+  void Op(ElidableLock& lock, Rng& rng, bool is_write);
+
+  CacheDb& db() { return db_; }
+
+ private:
+  CacheDb db_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_WORKLOADS_KYOTO_CACHE_DB_H_

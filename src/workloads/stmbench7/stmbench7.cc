@@ -1,0 +1,283 @@
+#include "src/workloads/stmbench7/stmbench7.h"
+
+#include "src/common/check.h"
+
+namespace rwle {
+
+Stmbench7Db::Stmbench7Db(const Stmbench7Config& config, std::uint64_t seed)
+    : config_(config) {
+  RWLE_CHECK(config_.atomic_parts_per_composite >= 2);
+  RWLE_CHECK(config_.composite_parts > 0);
+  RWLE_CHECK(config_.base_assemblies > 0);
+  Rng rng(seed);
+
+  // Composite parts with their atomic-part rings.
+  composites_.reserve(config_.composite_parts);
+  for (std::uint32_t c = 0; c < config_.composite_parts; ++c) {
+    auto composite = std::make_unique<CompositePart>();
+    composite->id.StoreDirect(c);
+    composite->build_date.StoreDirect(rng.NextBelow(1000));
+    composite->document.id.StoreDirect(c);
+    composite->document.revision.StoreDirect(0);
+    composite->document.text_hash.StoreDirect(rng.Next());
+
+    composite->parts.reserve(config_.atomic_parts_per_composite);
+    for (std::uint32_t p = 0; p < config_.atomic_parts_per_composite; ++p) {
+      auto part = std::make_unique<AtomicPart>();
+      part->id.StoreDirect(static_cast<std::uint64_t>(c) * 1000 + p);
+      part->x.StoreDirect(rng.NextBelow(10000));
+      part->y.StoreDirect(rng.NextBelow(10000));
+      part->build_date.StoreDirect(rng.NextBelow(1000));
+      composite->parts.push_back(std::move(part));
+    }
+    // Ring: p -> p+1 -> ... -> p; chords: random intra-composite edges.
+    const std::uint32_t n = config_.atomic_parts_per_composite;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      composite->parts[p]->next.StoreDirect(composite->parts[(p + 1) % n].get());
+      composite->parts[p]->chord.StoreDirect(composite->parts[rng.NextBelow(n)].get());
+    }
+    composite->root_part.StoreDirect(composite->parts[0].get());
+    composites_.push_back(std::move(composite));
+  }
+
+  // Base assemblies referencing composite parts.
+  bases_.reserve(config_.base_assemblies);
+  for (std::uint32_t b = 0; b < config_.base_assemblies; ++b) {
+    auto base = std::make_unique<BaseAssembly>();
+    base->id.StoreDirect(b);
+    base->components = std::vector<TxVar<CompositePart*>>(config_.composites_per_base);
+    for (std::uint32_t s = 0; s < config_.composites_per_base; ++s) {
+      base->components[s].StoreDirect(
+          composites_[rng.NextBelow(composites_.size())].get());
+    }
+    bases_.push_back(std::move(base));
+  }
+
+  // Complex-assembly tree; the last level references the base assemblies
+  // round-robin.
+  std::vector<ComplexAssembly*> previous_level;
+  std::uint64_t next_id = 0;
+  auto make_assembly = [&] {
+    auto assembly = std::make_unique<ComplexAssembly>();
+    assembly->id.StoreDirect(next_id++);
+    assemblies_.push_back(std::move(assembly));
+    return assemblies_.back().get();
+  };
+
+  root_ = make_assembly();
+  previous_level.push_back(root_);
+  for (std::uint32_t level = 1; level < config_.assembly_levels; ++level) {
+    std::vector<ComplexAssembly*> current_level;
+    for (ComplexAssembly* parent : previous_level) {
+      for (std::uint32_t f = 0; f < config_.assembly_fanout; ++f) {
+        ComplexAssembly* child = make_assembly();
+        parent->children.push_back(child);
+        current_level.push_back(child);
+      }
+    }
+    previous_level = std::move(current_level);
+  }
+  std::size_t base_index = 0;
+  for (ComplexAssembly* leaf : previous_level) {
+    for (std::uint32_t f = 0; f < config_.assembly_fanout; ++f) {
+      leaf->bases.push_back(bases_[base_index % bases_.size()].get());
+      ++base_index;
+    }
+  }
+}
+
+std::uint64_t Stmbench7Db::TraverseAtomicGraph(std::uint64_t composite_index) const {
+  const CompositePart& composite = CompositeAt(composite_index);
+  std::uint64_t checksum = 0;
+  AtomicPart* start = composite.root_part.Load();
+  AtomicPart* part = start;
+  // Walk the full ring; fold in each part's chord target attributes, which
+  // roughly doubles the read footprint (as the original's DFS revisits).
+  do {
+    checksum += part->x.Load() + part->y.Load() + part->build_date.Load();
+    AtomicPart* chord = part->chord.Load();
+    if (chord != nullptr) {
+      checksum ^= chord->id.Load();
+    }
+    part = part->next.Load();
+  } while (part != start && part != nullptr);
+  return checksum;
+}
+
+std::uint64_t Stmbench7Db::ShortTraversal(std::uint64_t base_index) const {
+  const BaseAssembly& base = *bases_[base_index % bases_.size()];
+  std::uint64_t checksum = base.id.Load();
+  for (const auto& slot : base.components) {
+    CompositePart* composite = slot.Load();
+    checksum += composite->build_date.Load();
+    AtomicPart* root = composite->root_part.Load();
+    checksum += root->x.Load() + root->y.Load();
+  }
+  return checksum;
+}
+
+std::uint64_t Stmbench7Db::QueryByBuildDate(std::uint64_t start_index,
+                                            std::uint64_t window) const {
+  const std::uint64_t scan =
+      static_cast<std::uint64_t>(config_.query_scan_fraction * composites_.size()) + 1;
+  std::uint64_t matches = 0;
+  for (std::uint64_t i = 0; i < scan; ++i) {
+    const CompositePart& composite = CompositeAt(start_index + i);
+    const std::uint64_t date = composite.build_date.Load();
+    if (date >= start_index % 1000 && date < start_index % 1000 + window) {
+      matches += composite.id.Load();
+    }
+  }
+  return matches;
+}
+
+std::uint64_t Stmbench7Db::LongTraversal() const {
+  std::uint64_t checksum = 0;
+  // Iterative DFS over the immutable tree; leaf base assemblies traverse
+  // their components' atomic graphs.
+  std::vector<const ComplexAssembly*> stack = {root_};
+  while (!stack.empty()) {
+    const ComplexAssembly* assembly = stack.back();
+    stack.pop_back();
+    checksum += assembly->id.Load();
+    for (const ComplexAssembly* child : assembly->children) {
+      stack.push_back(child);
+    }
+    for (const BaseAssembly* base : assembly->bases) {
+      for (const auto& slot : base->components) {
+        CompositePart* composite = slot.Load();
+        checksum += TraverseAtomicGraph(composite->id.Load());
+      }
+    }
+  }
+  return checksum;
+}
+
+void Stmbench7Db::UpdateAtomicDates(std::uint64_t composite_index) {
+  CompositePart& composite = CompositeAt(composite_index);
+  AtomicPart* start = composite.root_part.Load();
+  AtomicPart* part = start;
+  do {
+    part->build_date.Store(part->build_date.Load() + 1);
+    part = part->next.Load();
+  } while (part != start && part != nullptr);
+  composite.build_date.Store(composite.build_date.Load() + 1);
+}
+
+void Stmbench7Db::UpdateAtomicPosition(std::uint64_t composite_index,
+                                       std::uint64_t part_index) {
+  CompositePart& composite = CompositeAt(composite_index);
+  AtomicPart& part = *composite.parts[part_index % composite.parts.size()];
+  part.x.Store(part.x.Load() + 1);
+  part.y.Store(part.y.Load() + 1);
+}
+
+void Stmbench7Db::UpdateDocument(std::uint64_t composite_index, std::uint64_t new_hash) {
+  CompositePart& composite = CompositeAt(composite_index);
+  composite.document.revision.Store(composite.document.revision.Load() + 1);
+  composite.document.text_hash.Store(new_hash);
+}
+
+void Stmbench7Db::SwapComponents(std::uint64_t base_a, std::uint64_t slot_a,
+                                 std::uint64_t base_b, std::uint64_t slot_b) {
+  BaseAssembly& a = *bases_[base_a % bases_.size()];
+  BaseAssembly& b = *bases_[base_b % bases_.size()];
+  TxVar<CompositePart*>& sa = a.components[slot_a % a.components.size()];
+  TxVar<CompositePart*>& sb = b.components[slot_b % b.components.size()];
+  CompositePart* tmp = sa.Load();
+  sa.Store(sb.Load());
+  sb.Store(tmp);
+}
+
+void Stmbench7Db::RewireChord(std::uint64_t composite_index, std::uint64_t from_part,
+                              std::uint64_t to_part) {
+  CompositePart& composite = CompositeAt(composite_index);
+  AtomicPart& from = *composite.parts[from_part % composite.parts.size()];
+  AtomicPart* to = composite.parts[to_part % composite.parts.size()].get();
+  from.chord.Store(to);
+}
+
+bool Stmbench7Db::CheckTopologyDirect() const {
+  for (const auto& composite : composites_) {
+    const std::size_t n = composite->parts.size();
+    // The ring must visit exactly n distinct parts and return to the root.
+    AtomicPart* start = composite->root_part.LoadDirect();
+    AtomicPart* part = start;
+    std::size_t steps = 0;
+    do {
+      if (part == nullptr || steps > n) {
+        return false;
+      }
+      // Chords must stay inside this composite.
+      AtomicPart* chord = part->chord.LoadDirect();
+      bool found = false;
+      for (const auto& candidate : composite->parts) {
+        if (candidate.get() == chord) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return false;
+      }
+      part = part->next.LoadDirect();
+      ++steps;
+    } while (part != start);
+    if (steps != n) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Stmbench7Workload::Op(ElidableLock& lock, Rng& rng, bool is_write) {
+  if (!is_write) {
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        const std::uint64_t composite = rng.NextBelow(db_.composite_count());
+        lock.Read([&] { (void)db_.TraverseAtomicGraph(composite); });
+        break;
+      }
+      case 1: {
+        const std::uint64_t base = rng.NextBelow(db_.base_count());
+        lock.Read([&] { (void)db_.ShortTraversal(base); });
+        break;
+      }
+      default: {
+        const std::uint64_t start = rng.NextBelow(db_.composite_count());
+        lock.Read([&] { (void)db_.QueryByBuildDate(start, 100); });
+        break;
+      }
+    }
+    return;
+  }
+  switch (rng.NextBelow(4)) {
+    case 0: {
+      const std::uint64_t composite = rng.NextBelow(db_.composite_count());
+      lock.Write([&] { db_.UpdateAtomicDates(composite); });
+      break;
+    }
+    case 1: {
+      const std::uint64_t composite = rng.NextBelow(db_.composite_count());
+      const std::uint64_t part = rng.Next();
+      lock.Write([&] { db_.UpdateAtomicPosition(composite, part); });
+      break;
+    }
+    case 2: {
+      const std::uint64_t composite = rng.NextBelow(db_.composite_count());
+      const std::uint64_t hash = rng.Next();
+      lock.Write([&] { db_.UpdateDocument(composite, hash); });
+      break;
+    }
+    default: {
+      const std::uint64_t base_a = rng.NextBelow(db_.base_count());
+      const std::uint64_t base_b = rng.NextBelow(db_.base_count());
+      const std::uint64_t slot_a = rng.Next();
+      const std::uint64_t slot_b = rng.Next();
+      lock.Write([&] { db_.SwapComponents(base_a, slot_a, base_b, slot_b); });
+      break;
+    }
+  }
+}
+
+}  // namespace rwle

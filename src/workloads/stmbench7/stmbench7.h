@@ -1,0 +1,164 @@
+// STMBench7-lite: a scaled-down reimplementation of the STMBench7 [13]
+// CAD-object-graph benchmark, adapted -- exactly as the paper did -- to a
+// read-write-lock interface: read-only operations run under the read lock,
+// update operations under the write lock.
+//
+// Structure (as in the original): a module holds a tree of complex
+// assemblies; leaves are base assemblies referencing composite parts; each
+// composite part owns a connected graph of atomic parts and a document.
+// The operations below are representative of the original's short/long
+// traversals, queries and structural modifications; what matters for the
+// reproduction is their footprint: read and write critical sections large
+// enough to overflow HTM read capacity, which is what cripples HLE on this
+// benchmark (paper §4.2).
+//
+// All mutable shared state lives in TxVar cells. The topology (ownership,
+// arrays) is immutable after construction; structural operations rewire
+// TxVar pointers/links, so there is no reclamation under speculation.
+#ifndef RWLE_SRC_WORKLOADS_STMBENCH7_STMBENCH7_H_
+#define RWLE_SRC_WORKLOADS_STMBENCH7_STMBENCH7_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/locks/elidable_lock.h"
+#include "src/memory/tx_var.h"
+
+namespace rwle {
+
+struct Stmbench7Config {
+  // The original's composite parts own ~200 atomic parts each; that scale
+  // is what makes STMBench7 critical sections overflow HTM read capacity
+  // (the effect behind Figure 8's HLE collapse), so it is the default here.
+  std::uint32_t atomic_parts_per_composite = 200;
+  std::uint32_t composite_parts = 128;
+  std::uint32_t base_assemblies = 32;
+  std::uint32_t composites_per_base = 4;
+  std::uint32_t assembly_fanout = 3;
+  std::uint32_t assembly_levels = 3;
+  // Fraction of the composite-part index a build-date query scans.
+  double query_scan_fraction = 0.25;
+};
+
+class Stmbench7Db {
+ public:
+  struct AtomicPart {
+    TxVar<std::uint64_t> id;
+    TxVar<std::uint64_t> x;
+    TxVar<std::uint64_t> y;
+    TxVar<std::uint64_t> build_date;
+    // Ring + chord connectivity inside the owning composite part.
+    TxVar<AtomicPart*> next;
+    TxVar<AtomicPart*> chord;
+  };
+
+  struct Document {
+    TxVar<std::uint64_t> id;
+    TxVar<std::uint64_t> revision;
+    TxVar<std::uint64_t> text_hash;
+  };
+
+  struct CompositePart {
+    TxVar<std::uint64_t> id;
+    TxVar<std::uint64_t> build_date;
+    Document document;
+    std::vector<std::unique_ptr<AtomicPart>> parts;  // topology-owned
+    TxVar<AtomicPart*> root_part;
+  };
+
+  struct BaseAssembly {
+    TxVar<std::uint64_t> id;
+    std::vector<TxVar<CompositePart*>> components;
+  };
+
+  struct ComplexAssembly {
+    TxVar<std::uint64_t> id;
+    std::vector<ComplexAssembly*> children;  // immutable tree links
+    std::vector<BaseAssembly*> bases;        // non-empty only at the last level
+  };
+
+  explicit Stmbench7Db(const Stmbench7Config& config, std::uint64_t seed = 7);
+
+  const Stmbench7Config& config() const { return config_; }
+
+  // ---- Read-only operations (inside read critical sections) ----
+
+  // T2-style: depth-first traversal of one composite part's atomic graph;
+  // returns a checksum. Touches every atomic part of the composite.
+  std::uint64_t TraverseAtomicGraph(std::uint64_t composite_index) const;
+
+  // ST-style short traversal: base assembly -> component -> root part.
+  std::uint64_t ShortTraversal(std::uint64_t base_index) const;
+
+  // Q-style index query: scans a contiguous slice of the composite-part
+  // index, summing ids of parts whose build date falls in a window.
+  std::uint64_t QueryByBuildDate(std::uint64_t start_index, std::uint64_t window) const;
+
+  // T1-style long traversal: whole assembly tree down to atomic parts.
+  std::uint64_t LongTraversal() const;
+
+  // ---- Update operations (inside write critical sections) ----
+
+  // OP-style: bump the build date of every atomic part in one composite.
+  void UpdateAtomicDates(std::uint64_t composite_index);
+
+  // Short update: move one atomic part's (x, y).
+  void UpdateAtomicPosition(std::uint64_t composite_index, std::uint64_t part_index);
+
+  // Document revision bump.
+  void UpdateDocument(std::uint64_t composite_index, std::uint64_t new_hash);
+
+  // Structural: swap two component slots between base assemblies.
+  void SwapComponents(std::uint64_t base_a, std::uint64_t slot_a, std::uint64_t base_b,
+                      std::uint64_t slot_b);
+
+  // Structural: rewire one atomic part's chord to another part of the same
+  // composite.
+  void RewireChord(std::uint64_t composite_index, std::uint64_t from_part,
+                   std::uint64_t to_part);
+
+  // ---- Verification (quiescent state only) ----
+
+  // Every atomic graph must remain a single cycle covering all parts, with
+  // chords pointing inside the same composite. Returns true if intact.
+  bool CheckTopologyDirect() const;
+
+  std::uint64_t composite_count() const { return composites_.size(); }
+  std::uint64_t base_count() const { return bases_.size(); }
+
+ private:
+  const CompositePart& CompositeAt(std::uint64_t index) const {
+    return *composites_[index % composites_.size()];
+  }
+  CompositePart& CompositeAt(std::uint64_t index) {
+    return *composites_[index % composites_.size()];
+  }
+
+  Stmbench7Config config_;
+  std::vector<std::unique_ptr<CompositePart>> composites_;
+  std::vector<std::unique_ptr<BaseAssembly>> bases_;
+  std::vector<std::unique_ptr<ComplexAssembly>> assemblies_;
+  ComplexAssembly* root_ = nullptr;
+};
+
+// Binds the database and a lock into the benchmark's operation mix
+// (24-operation standard mix collapsed to its read/write archetypes; long
+// traversals disabled by default, as in the paper's configuration).
+class Stmbench7Workload {
+ public:
+  explicit Stmbench7Workload(const Stmbench7Config& config = Stmbench7Config{})
+      : db_(config) {}
+
+  void Op(ElidableLock& lock, Rng& rng, bool is_write);
+
+  Stmbench7Db& db() { return db_; }
+
+ private:
+  Stmbench7Db db_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_WORKLOADS_STMBENCH7_STMBENCH7_H_

@@ -1,0 +1,243 @@
+#include "src/workloads/tpcc/tpcc.h"
+
+namespace rwle {
+
+TpccDb::TpccDb(const TpccConfig& config) : config_(config) {
+  RWLE_CHECK(config_.warehouses > 0);
+  RWLE_CHECK(config_.max_order_lines > 0);
+  RWLE_CHECK(config_.order_ring_size >= config_.stock_level_orders);
+
+  warehouses_ = std::vector<Warehouse>(config_.warehouses);
+  districts_ = std::vector<District>(static_cast<std::size_t>(config_.warehouses) *
+                                     config_.districts_per_warehouse);
+  customers_ = std::vector<Customer>(districts_.size() * config_.customers_per_district);
+  stock_ = std::vector<StockRow>(static_cast<std::size_t>(config_.warehouses) *
+                                 config_.stock_per_warehouse);
+
+  Rng rng(0xC0FFEEull);
+  items_.reserve(config_.items);
+  for (std::uint32_t i = 0; i < config_.items; ++i) {
+    items_.push_back(Item{.price = rng.NextInRange(1, 100)});
+  }
+  for (auto& warehouse : warehouses_) {
+    warehouse.tax.StoreDirect(rng.NextBelow(20));
+  }
+  for (auto& district : districts_) {
+    district.tax.StoreDirect(rng.NextBelow(20));
+    district.next_order_id.StoreDirect(0);
+    district.oldest_undelivered.StoreDirect(0);
+  }
+  for (auto& row : stock_) {
+    row.quantity.StoreDirect(rng.NextInRange(50, 100));
+  }
+
+  // Order rings: preallocated slots with full line capacity.
+  orders_.reserve(districts_.size() * config_.order_ring_size);
+  for (std::size_t i = 0; i < districts_.size() * config_.order_ring_size; ++i) {
+    auto order = std::make_unique<Order>();
+    order->delivered.StoreDirect(1);  // empty slots count as delivered
+    order->lines = std::vector<OrderLine>(config_.max_order_lines);
+    orders_.push_back(std::move(order));
+  }
+}
+
+std::uint64_t TpccDb::NewOrder(std::uint32_t warehouse, std::uint32_t district,
+                               std::uint32_t customer, const std::uint64_t* item_ids,
+                               const std::uint64_t* quantities, std::uint32_t line_count) {
+  RWLE_CHECK(line_count <= config_.max_order_lines);
+  const std::size_t d = DistrictIndex(warehouse, district);
+  District& dist = districts_[d];
+
+  const std::uint64_t order_id = dist.next_order_id.Load();
+  dist.next_order_id.Store(order_id + 1);
+  // Ring overwrite: if the evicted slot was undelivered, account for it
+  // (the ring is sized so this is rare; the invariant checker tolerates it
+  // by tracking oldest_undelivered monotonically).
+  if (order_id >= config_.order_ring_size) {
+    const std::uint64_t evicted = order_id - config_.order_ring_size;
+    if (dist.oldest_undelivered.Load() <= evicted) {
+      dist.oldest_undelivered.Store(evicted + 1);
+    }
+  }
+
+  Order& order = OrderSlot(d, order_id);
+  order.id.Store(order_id);
+  order.customer.Store(customer);
+  order.line_count.Store(line_count);
+  order.delivered.Store(0);
+
+  std::uint64_t total = 0;
+  for (std::uint32_t l = 0; l < line_count; ++l) {
+    const std::uint64_t item = item_ids[l] % items_.size();
+    const std::uint64_t quantity = quantities[l];
+    const std::uint64_t amount = items_[item].price * quantity;
+    order.lines[l].item_id.Store(item);
+    order.lines[l].quantity.Store(quantity);
+    order.lines[l].amount.Store(amount);
+    total += amount;
+
+    StockRow& row = stock_[StockIndex(warehouse, item)];
+    const std::uint64_t stock_quantity = row.quantity.Load();
+    row.quantity.Store(stock_quantity >= quantity + 10 ? stock_quantity - quantity
+                                                       : stock_quantity + 91 - quantity);
+    row.ytd.Store(row.ytd.Load() + quantity);
+    row.order_count.Store(row.order_count.Load() + 1);
+  }
+
+  customers_[CustomerIndex(warehouse, district, customer)].last_order_id.Store(order_id);
+  return order_id;
+}
+
+void TpccDb::Payment(std::uint32_t warehouse, std::uint32_t district, std::uint32_t customer,
+                     std::uint64_t amount) {
+  Warehouse& wh = warehouses_[warehouse];
+  wh.ytd.Store(wh.ytd.Load() + amount);
+  District& dist = districts_[DistrictIndex(warehouse, district)];
+  dist.ytd.Store(dist.ytd.Load() + amount);
+  Customer& cust = customers_[CustomerIndex(warehouse, district, customer)];
+  cust.balance.Store(cust.balance.Load() - static_cast<std::int64_t>(amount));
+  cust.ytd_payment.Store(cust.ytd_payment.Load() + amount);
+  cust.payment_count.Store(cust.payment_count.Load() + 1);
+}
+
+std::uint64_t TpccDb::Delivery(std::uint32_t warehouse) {
+  std::uint64_t delivered = 0;
+  for (std::uint32_t d = 0; d < config_.districts_per_warehouse; ++d) {
+    const std::size_t district_index = DistrictIndex(warehouse, d);
+    District& dist = districts_[district_index];
+    const std::uint64_t oldest = dist.oldest_undelivered.Load();
+    if (oldest >= dist.next_order_id.Load()) {
+      continue;  // nothing undelivered
+    }
+    Order& order = OrderSlot(district_index, oldest);
+    if (order.delivered.Load() == 0 && order.id.Load() == oldest) {
+      order.delivered.Store(1);
+      const std::uint64_t line_count = order.line_count.Load();
+      std::uint64_t total = 0;
+      for (std::uint64_t l = 0; l < line_count; ++l) {
+        total += order.lines[l].amount.Load();
+      }
+      const std::uint64_t customer = order.customer.Load();
+      Customer& cust = customers_[CustomerIndex(warehouse, d, static_cast<std::uint32_t>(
+                                                                  customer))];
+      cust.balance.Store(cust.balance.Load() + static_cast<std::int64_t>(total));
+      ++delivered;
+    }
+    dist.oldest_undelivered.Store(oldest + 1);
+  }
+  return delivered;
+}
+
+std::uint64_t TpccDb::OrderStatus(std::uint32_t warehouse, std::uint32_t district,
+                                  std::uint32_t customer) const {
+  const Customer& cust = customers_[CustomerIndex(warehouse, district, customer)];
+  std::uint64_t checksum = static_cast<std::uint64_t>(cust.balance.Load());
+  const std::uint64_t order_id = cust.last_order_id.Load();
+  const std::size_t d = DistrictIndex(warehouse, district);
+  const Order& order = OrderSlot(d, order_id);
+  if (order.id.Load() == order_id && order.customer.Load() == customer) {
+    const std::uint64_t line_count = order.line_count.Load();
+    for (std::uint64_t l = 0; l < line_count && l < config_.max_order_lines; ++l) {
+      checksum += order.lines[l].amount.Load();
+    }
+  }
+  return checksum;
+}
+
+std::uint64_t TpccDb::StockLevel(std::uint32_t warehouse, std::uint32_t district,
+                                 std::uint64_t threshold) const {
+  const std::size_t d = DistrictIndex(warehouse, district);
+  const District& dist = districts_[d];
+  const std::uint64_t next = dist.next_order_id.Load();
+  const std::uint64_t first =
+      next > config_.stock_level_orders ? next - config_.stock_level_orders : 0;
+
+  // Scan the order lines of the last orders and probe the stock rows: the
+  // benchmark's big read footprint.
+  std::uint64_t low = 0;
+  for (std::uint64_t o = first; o < next; ++o) {
+    const Order& order = OrderSlot(d, o);
+    if (order.id.Load() != o) {
+      continue;  // slot already overwritten by a newer order
+    }
+    const std::uint64_t line_count = order.line_count.Load();
+    for (std::uint64_t l = 0; l < line_count && l < config_.max_order_lines; ++l) {
+      const std::uint64_t item = order.lines[l].item_id.Load();
+      const StockRow& row = stock_[StockIndex(warehouse, item)];
+      if (row.quantity.Load() < threshold) {
+        ++low;
+      }
+    }
+  }
+  return low;
+}
+
+std::uint64_t TpccDb::TotalYtdDirect() const {
+  std::uint64_t warehouse_total = 0;
+  for (const auto& warehouse : warehouses_) {
+    warehouse_total += warehouse.ytd.LoadDirect();
+  }
+  std::uint64_t district_total = 0;
+  for (const auto& district : districts_) {
+    district_total += district.ytd.LoadDirect();
+  }
+  // Payment updates both by the same amount, so they must agree.
+  RWLE_CHECK(warehouse_total == district_total);
+  return warehouse_total;
+}
+
+bool TpccDb::CheckOrderRingsDirect() const {
+  for (std::size_t d = 0; d < districts_.size(); ++d) {
+    const std::uint64_t next = districts_[d].next_order_id.LoadDirect();
+    const std::uint64_t first =
+        next > config_.order_ring_size ? next - config_.order_ring_size : 0;
+    for (std::uint64_t o = first; o < next; ++o) {
+      const Order& order = OrderSlot(d, o);
+      if (order.id.LoadDirect() != o) {
+        return false;
+      }
+      if (order.line_count.LoadDirect() > config_.max_order_lines) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void TpccWorkload::Op(ElidableLock& lock, Rng& rng, bool is_write) {
+  const auto& config = db_.config();
+  const auto warehouse = static_cast<std::uint32_t>(rng.NextBelow(config.warehouses));
+  const auto district =
+      static_cast<std::uint32_t>(rng.NextBelow(config.districts_per_warehouse));
+  const auto customer =
+      static_cast<std::uint32_t>(rng.NextBelow(config.customers_per_district));
+
+  if (is_write) {
+    const std::uint64_t dice = rng.NextBelow(100);
+    if (dice < 50) {
+      std::uint64_t item_ids[32];
+      std::uint64_t quantities[32];
+      const auto line_count =
+          static_cast<std::uint32_t>(rng.NextInRange(5, config.max_order_lines));
+      for (std::uint32_t l = 0; l < line_count; ++l) {
+        item_ids[l] = item_skew_.Next(rng);
+        quantities[l] = rng.NextInRange(1, 10);
+      }
+      lock.Write(
+          [&] { db_.NewOrder(warehouse, district, customer, item_ids, quantities, line_count); });
+    } else if (dice < 95) {
+      const std::uint64_t amount = rng.NextInRange(1, 5000);
+      lock.Write([&] { db_.Payment(warehouse, district, customer, amount); });
+    } else {
+      lock.Write([&] { (void)db_.Delivery(warehouse); });
+    }
+    return;
+  }
+  if (rng.NextBool(0.5)) {
+    lock.Read([&] { (void)db_.OrderStatus(warehouse, district, customer); });
+  } else {
+    lock.Read([&] { (void)db_.StockLevel(warehouse, district, 60); });
+  }
+}
+
+}  // namespace rwle

@@ -1,0 +1,176 @@
+// TPC-C-lite: the five TPC-C transactions over an in-memory store, ported
+// the way the paper did (§4.2): read-only transactions (order-status,
+// stock-level) run under the read lock, update transactions (new-order,
+// payment, delivery) under the write lock.
+//
+// Scale is reduced (warehouses/districts/customers/stock below) but the
+// footprint profile is preserved: stock-level scans the order lines of the
+// last orders of a district -- a large read critical section that overflows
+// HTM capacity, the effect behind HLE's 45% read capacity aborts on this
+// benchmark. Orders live in fixed per-district ring buffers, so there is no
+// allocation or reclamation under speculation.
+#ifndef RWLE_SRC_WORKLOADS_TPCC_TPCC_H_
+#define RWLE_SRC_WORKLOADS_TPCC_TPCC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/cpu.h"
+#include "src/common/rng.h"
+#include "src/locks/elidable_lock.h"
+#include "src/memory/tx_var.h"
+
+namespace rwle {
+
+struct TpccConfig {
+  std::uint32_t warehouses = 2;
+  std::uint32_t districts_per_warehouse = 10;
+  std::uint32_t customers_per_district = 64;
+  std::uint32_t items = 1024;
+  std::uint32_t stock_per_warehouse = 1024;  // one stock row per item
+  std::uint32_t order_ring_size = 64;        // orders kept per district
+  std::uint32_t max_order_lines = 15;
+  std::uint32_t stock_level_orders = 20;  // orders scanned by stock-level
+};
+
+class TpccDb {
+ public:
+  explicit TpccDb(const TpccConfig& config);
+
+  TpccDb(const TpccDb&) = delete;
+  TpccDb& operator=(const TpccDb&) = delete;
+
+  const TpccConfig& config() const { return config_; }
+
+  // ---- Update transactions (inside write critical sections) ----
+
+  // Registers a customer order of `line_count` items (ids/quantities from
+  // `item_ids`/`quantities`): reads item prices, updates stock rows, fills
+  // the district's next order-ring slot. Returns the order id.
+  std::uint64_t NewOrder(std::uint32_t warehouse, std::uint32_t district,
+                         std::uint32_t customer, const std::uint64_t* item_ids,
+                         const std::uint64_t* quantities, std::uint32_t line_count);
+
+  // Payment: updates warehouse/district YTD and the customer balance.
+  void Payment(std::uint32_t warehouse, std::uint32_t district, std::uint32_t customer,
+               std::uint64_t amount);
+
+  // Delivery: marks the oldest undelivered order of each district of the
+  // warehouse delivered, crediting the customer. Returns orders delivered.
+  std::uint64_t Delivery(std::uint32_t warehouse);
+
+  // ---- Read-only transactions (inside read critical sections) ----
+
+  // Order-status: reads the customer's balance and their latest order.
+  std::uint64_t OrderStatus(std::uint32_t warehouse, std::uint32_t district,
+                            std::uint32_t customer) const;
+
+  // Stock-level: scans the lines of the district's last `stock_level_orders`
+  // orders and counts distinct items whose stock is below `threshold`.
+  std::uint64_t StockLevel(std::uint32_t warehouse, std::uint32_t district,
+                           std::uint64_t threshold) const;
+
+  // ---- Verification (quiescent state only) ----
+
+  // Money conservation: sum of warehouse+district YTD equals the total
+  // payment amount injected; order ids per district are dense.
+  std::uint64_t TotalYtdDirect() const;
+  bool CheckOrderRingsDirect() const;
+
+ private:
+  struct alignas(kCacheLineBytes) Warehouse {
+    TxVar<std::uint64_t> ytd;
+    TxVar<std::uint64_t> tax;
+  };
+
+  struct alignas(kCacheLineBytes) District {
+    TxVar<std::uint64_t> ytd;
+    TxVar<std::uint64_t> tax;
+    TxVar<std::uint64_t> next_order_id;
+    TxVar<std::uint64_t> oldest_undelivered;
+  };
+
+  struct alignas(kCacheLineBytes) Customer {
+    TxVar<std::int64_t> balance;
+    TxVar<std::uint64_t> ytd_payment;
+    TxVar<std::uint64_t> payment_count;
+    TxVar<std::uint64_t> last_order_id;
+  };
+
+  struct alignas(kCacheLineBytes) StockRow {
+    TxVar<std::uint64_t> quantity;
+    TxVar<std::uint64_t> ytd;
+    TxVar<std::uint64_t> order_count;
+  };
+
+  struct OrderLine {
+    TxVar<std::uint64_t> item_id;
+    TxVar<std::uint64_t> quantity;
+    TxVar<std::uint64_t> amount;
+  };
+
+  struct alignas(kCacheLineBytes) Order {
+    TxVar<std::uint64_t> id;
+    TxVar<std::uint64_t> customer;
+    TxVar<std::uint64_t> line_count;
+    TxVar<std::uint64_t> delivered;  // 0/1
+    std::vector<OrderLine> lines;
+  };
+
+  // Item master data is immutable after construction: plain values.
+  struct Item {
+    std::uint64_t price;
+  };
+
+  std::size_t DistrictIndex(std::uint32_t warehouse, std::uint32_t district) const {
+    return static_cast<std::size_t>(warehouse) * config_.districts_per_warehouse + district;
+  }
+  std::size_t CustomerIndex(std::uint32_t warehouse, std::uint32_t district,
+                            std::uint32_t customer) const {
+    return DistrictIndex(warehouse, district) * config_.customers_per_district + customer;
+  }
+  std::size_t StockIndex(std::uint32_t warehouse, std::uint64_t item) const {
+    return static_cast<std::size_t>(warehouse) * config_.stock_per_warehouse +
+           item % config_.stock_per_warehouse;
+  }
+  Order& OrderSlot(std::size_t district_index, std::uint64_t order_id) {
+    return *orders_[district_index * config_.order_ring_size +
+                    order_id % config_.order_ring_size];
+  }
+  const Order& OrderSlot(std::size_t district_index, std::uint64_t order_id) const {
+    return *orders_[district_index * config_.order_ring_size +
+                    order_id % config_.order_ring_size];
+  }
+
+  TpccConfig config_;
+  std::vector<Warehouse> warehouses_;
+  std::vector<District> districts_;
+  std::vector<Customer> customers_;
+  std::vector<StockRow> stock_;
+  std::vector<Item> items_;
+  std::vector<std::unique_ptr<Order>> orders_;
+};
+
+// Standard-mix driver constrained by the harness's is_write flag:
+// writes: 50% new-order, 45% payment, 5% delivery;
+// reads:  50% order-status, 50% stock-level.
+class TpccWorkload {
+ public:
+  explicit TpccWorkload(const TpccConfig& config = TpccConfig{})
+      : db_(config), item_skew_(config.items, /*theta=*/0.7) {}
+
+  void Op(ElidableLock& lock, Rng& rng, bool is_write);
+
+  TpccDb& db() { return db_; }
+
+ private:
+  TpccDb db_;
+  // TPC-C's NURand-style popularity skew over items (hot items contend).
+  ZipfGenerator item_skew_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_WORKLOADS_TPCC_TPCC_H_

@@ -1,0 +1,112 @@
+// Tests for the adaptive retry-budget extension: unit tests of the tuner's
+// window logic and an integration test showing the budget converges under a
+// capacity-bound workload.
+#include "src/rwle/adaptive_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/thread_registry.h"
+#include "src/locks/lock_factory.h"
+#include "src/memory/tx_var.h"
+#include "src/rwle/rwle_lock.h"
+
+namespace rwle {
+namespace {
+
+TEST(AdaptiveTunerTest, StartsAtConfiguredBudgets) {
+  AdaptiveTuner tuner(5, 3);
+  EXPECT_EQ(tuner.Current().htm, 5u);
+  EXPECT_EQ(tuner.Current().rot, 3u);
+}
+
+TEST(AdaptiveTunerTest, ShrinksHopelessPath) {
+  AdaptiveTuner tuner;
+  // A full window of HTM attempts that always abort before falling back.
+  for (std::uint32_t i = 0; i < AdaptiveTuner::kWindow; ++i) {
+    tuner.ReportWrite(CommitPath::kRot, /*htm_aborts=*/5, /*rot_aborts=*/0);
+  }
+  EXPECT_LT(tuner.Current().htm, 5u);
+  // ROT committed every time: its budget may grow, never shrink.
+  EXPECT_GE(tuner.Current().rot, 5u);
+}
+
+TEST(AdaptiveTunerTest, NeverDropsBelowOneProbeAttempt) {
+  AdaptiveTuner tuner;
+  for (std::uint32_t i = 0; i < 50 * AdaptiveTuner::kWindow; ++i) {
+    tuner.ReportWrite(CommitPath::kSerial, /*htm_aborts=*/5, /*rot_aborts=*/5);
+  }
+  EXPECT_EQ(tuner.Current().htm, 1u);
+  EXPECT_EQ(tuner.Current().rot, 1u);
+}
+
+TEST(AdaptiveTunerTest, GrowsSuccessfulPathUpToCap) {
+  AdaptiveTuner tuner;
+  for (std::uint32_t i = 0; i < 50 * AdaptiveTuner::kWindow; ++i) {
+    tuner.ReportWrite(CommitPath::kHtm, /*htm_aborts=*/0, /*rot_aborts=*/0);
+  }
+  EXPECT_EQ(tuner.Current().htm, AdaptiveTuner::kMaxBudget);
+}
+
+TEST(AdaptiveTunerTest, IgnoresSparseSignals) {
+  AdaptiveTuner tuner;
+  // Only a handful of HTM attempts per window: not enough evidence.
+  for (std::uint32_t i = 0; i < AdaptiveTuner::kWindow; ++i) {
+    const bool touched_htm = i < AdaptiveTuner::kWindow / 8;
+    tuner.ReportWrite(CommitPath::kSerial, touched_htm ? 1 : 0, 0);
+  }
+  EXPECT_EQ(tuner.Current().htm, 5u);
+}
+
+TEST(AdaptiveTunerTest, LockConvergesUnderCapacityBoundWorkload) {
+  // Integration: with a tiny read capacity every HTM attempt dies, so the
+  // adaptive lock should learn to stop probing HTM (budget -> 1) while the
+  // ROT path keeps committing.
+  const HtmConfig saved = HtmRuntime::Global().config();
+  HtmConfig config = saved;
+  config.max_read_lines = 2;
+  HtmRuntime::Global().set_config(config);
+
+  ScopedThreadSlot slot;
+  RwLePolicy policy;
+  policy.adaptive = true;
+  RwLeLock lock(policy);
+
+  struct alignas(kCacheLineBytes) Cell {
+    TxVar<std::uint64_t> v;
+  };
+  std::vector<Cell> cells(8);
+
+  // The budget drops one step per window (capacity aborts are persistent,
+  // so each write costs exactly one doomed HTM probe): after five windows
+  // the budget has bottomed out at the single probe attempt.
+  for (std::uint32_t i = 0; i < 5 * AdaptiveTuner::kWindow; ++i) {
+    lock.Write([&] {
+      std::uint64_t sum = 0;
+      for (auto& cell : cells) {
+        sum += cell.v.Load();
+      }
+      cells[0].v.Store(sum + 1);
+    });
+  }
+
+  EXPECT_EQ(lock.tuner().Current().htm, 1u);
+  const ThreadStats stats = lock.stats().Aggregate();
+  EXPECT_GT(stats.commits[static_cast<int>(CommitPath::kRot)], 0u);
+  EXPECT_EQ(cells[0].v.LoadDirect(), 5u * AdaptiveTuner::kWindow);
+
+  HtmRuntime::Global().set_config(saved);
+}
+
+TEST(AdaptiveTunerTest, FactoryProvidesAdaptiveScheme) {
+  auto lock = MakeLock("rwle-adaptive");
+  ASSERT_NE(lock, nullptr);
+  ScopedThreadSlot slot;
+  TxVar<std::uint64_t> cell(0);
+  lock->Write([&] { cell.Store(1); });
+  EXPECT_EQ(cell.LoadDirect(), 1u);
+}
+
+}  // namespace
+}  // namespace rwle

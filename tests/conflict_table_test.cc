@@ -1,0 +1,70 @@
+// Unit tests for conflict-table primitives: owner-token packing, reader-bit
+// manipulation, address-to-slot mapping (same line -> same slot), and the
+// status-word packing used for cross-thread dooming.
+#include "src/htm/conflict_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/htm/tx_context.h"
+
+namespace rwle {
+namespace {
+
+TEST(OwnerTokenTest, PacksAndUnpacksSlotAndEpoch) {
+  for (std::uint32_t slot : {0u, 1u, 63u, 127u}) {
+    for (std::uint64_t epoch : {0ull, 1ull, 4096ull, (1ull << 40)}) {
+      const OwnerToken token = MakeOwnerToken(slot, epoch);
+      EXPECT_NE(token, 0u);  // 0 is reserved for "unowned"
+      EXPECT_EQ(OwnerTokenSlot(token), slot);
+      EXPECT_EQ(OwnerTokenEpoch(token), epoch);
+    }
+  }
+}
+
+TEST(StatusWordTest, PacksPhaseCauseEpoch) {
+  const std::uint64_t status =
+      PackStatus(12345, AbortCause::kCapacityWrite, TxPhase::kDoomed);
+  EXPECT_EQ(StatusEpoch(status), 12345u);
+  EXPECT_EQ(StatusCause(status), AbortCause::kCapacityWrite);
+  EXPECT_EQ(StatusPhase(status), TxPhase::kDoomed);
+}
+
+TEST(ConflictTableTest, SameLineMapsToSameSlot) {
+  auto table = std::make_unique<ConflictTable>();
+  alignas(kCacheLineBytes) char line[kCacheLineBytes * 2];
+  EXPECT_EQ(&table->SlotFor(&line[0]), &table->SlotFor(&line[kCacheLineBytes - 1]));
+  // Adjacent lines land in different slots with overwhelming probability
+  // (the mixer spreads sequential lines).
+  EXPECT_NE(&table->SlotFor(&line[0]), &table->SlotFor(&line[kCacheLineBytes]));
+  EXPECT_EQ(table->IndexFor(&line[0]), table->IndexFor(&line[8]));
+}
+
+TEST(ConflictTableTest, SlotAtMatchesIndexFor) {
+  auto table = std::make_unique<ConflictTable>();
+  int object = 0;
+  EXPECT_EQ(&table->SlotAt(table->IndexFor(&object)), &table->SlotFor(&object));
+}
+
+TEST(ConflictTableTest, ReaderBitsAreIndependent) {
+  ConflictTable::LineSlot slot;
+  for (std::uint32_t thread : {0u, 5u, 63u, 64u, 127u}) {
+    EXPECT_FALSE(ConflictTable::TestReaderBit(slot, thread));
+    ConflictTable::SetReaderBit(slot, thread);
+    EXPECT_TRUE(ConflictTable::TestReaderBit(slot, thread));
+  }
+  // Clearing one leaves the others.
+  ConflictTable::ClearReaderBit(slot, 64);
+  EXPECT_FALSE(ConflictTable::TestReaderBit(slot, 64));
+  EXPECT_TRUE(ConflictTable::TestReaderBit(slot, 63));
+  EXPECT_TRUE(ConflictTable::TestReaderBit(slot, 127));
+}
+
+TEST(ConflictTableTest, WriterFieldStartsUnowned) {
+  ConflictTable::LineSlot slot;
+  EXPECT_EQ(slot.writer.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rwle

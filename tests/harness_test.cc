@@ -1,0 +1,169 @@
+// Tests for the benchmark harness, the cost meter / modeled-time formula,
+// and the figure report renderer.
+#include "src/harness/bench_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "src/common/thread_registry.h"
+#include "src/harness/figure_report.h"
+#include "src/locks/lock_factory.h"
+#include "src/memory/tx_var.h"
+#include "src/stats/cost_meter.h"
+
+namespace rwle {
+namespace {
+
+TEST(CostMeterTest, BucketsFollowSerialScopes) {
+  ScopedThreadSlot slot;
+  CostMeter& meter = CostMeter::Global();
+  meter.Reset();
+  meter.set_contention_factor(4);
+
+  meter.Charge(10);  // parallel
+  {
+    SerialSectionScope writers(SerialScope::kWriters);
+    meter.Charge(20);
+    {
+      SerialSectionScope global(SerialScope::kGlobal);
+      meter.Charge(30);
+    }
+    meter.Charge(5);
+  }
+  meter.ChargeContended(3);  // 3 * factor 4 = 12, parallel
+
+  const CostMeter::Totals totals = meter.Aggregate();
+  EXPECT_EQ(totals.parallel, 22u);
+  EXPECT_EQ(totals.writer_serial, 25u);
+  EXPECT_EQ(totals.global_serial, 30u);
+  meter.Reset();
+  meter.set_contention_factor(1);
+}
+
+TEST(CostMeterTest, ModeledSecondsFormula) {
+  CostMeter::Totals totals;
+  totals.parallel = 8'000'000'000ull;  // 8s of parallel cycles
+  totals.writer_serial = 1'000'000'000ull;
+  totals.global_serial = 500'000'000ull;
+
+  // 1 thread: 0.5 + max(1, 8) = 8.5s
+  EXPECT_NEAR(CostMeter::ModeledSeconds(totals, 1), 8.5, 1e-9);
+  // 8 threads: 0.5 + max(1, 1) = 1.5s
+  EXPECT_NEAR(CostMeter::ModeledSeconds(totals, 8), 1.5, 1e-9);
+  // 64 threads: writer-serial dominates: 0.5 + max(1, 0.125) = 1.5s
+  EXPECT_NEAR(CostMeter::ModeledSeconds(totals, 64), 1.5, 1e-9);
+}
+
+TEST(BenchHarnessTest, RunsExactlyTotalOps) {
+  auto lock = MakeLock("sgl");
+  std::atomic<std::uint64_t> executed{0};
+  RunOptions options;
+  options.threads = 3;
+  options.total_ops = 1000;  // not divisible by 3: remainder must be spread
+  options.write_ratio = 0.5;
+
+  const RunResult result =
+      RunBenchmark(options, lock->stats(), [&](std::uint32_t, Rng&, bool is_write) {
+        executed.fetch_add(1);
+        if (is_write) {
+          lock->Write([] {});
+        } else {
+          lock->Read([] {});
+        }
+      });
+
+  EXPECT_EQ(executed.load(), 1000u);
+  EXPECT_EQ(result.total_ops, 1000u);
+  EXPECT_EQ(result.threads, 3u);
+  EXPECT_EQ(result.stats.TotalCommits(), 1000u);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.modeled_seconds, 0.0);
+}
+
+TEST(BenchHarnessTest, WriteRatioIsRespected) {
+  auto lock = MakeLock("sgl");
+  std::atomic<std::uint64_t> writes{0};
+  RunOptions options;
+  options.threads = 2;
+  options.total_ops = 4000;
+  options.write_ratio = 0.25;
+
+  RunBenchmark(options, lock->stats(), [&](std::uint32_t, Rng&, bool is_write) {
+    if (is_write) {
+      writes.fetch_add(1);
+    }
+  });
+  const double ratio = static_cast<double>(writes.load()) / 4000.0;
+  EXPECT_NEAR(ratio, 0.25, 0.05);
+}
+
+TEST(BenchHarnessTest, DeterministicOpSequencePerSeed) {
+  auto lock = MakeLock("sgl");
+  RunOptions options;
+  options.threads = 2;
+  options.total_ops = 200;
+  options.seed = 99;
+
+  std::atomic<std::uint64_t> checksum_a{0};
+  RunBenchmark(options, lock->stats(), [&](std::uint32_t, Rng& rng, bool) {
+    checksum_a.fetch_add(rng.Next() & 0xFFFF);
+  });
+  std::atomic<std::uint64_t> checksum_b{0};
+  RunBenchmark(options, lock->stats(), [&](std::uint32_t, Rng& rng, bool) {
+    checksum_b.fetch_add(rng.Next() & 0xFFFF);
+  });
+  EXPECT_EQ(checksum_a.load(), checksum_b.load());
+}
+
+TEST(BenchHarnessTest, RwLeWorkGetsRealStats) {
+  auto lock = MakeLock("rwle-opt");
+  TxVar<std::uint64_t> cell(0);
+  RunOptions options;
+  options.threads = 2;
+  options.total_ops = 500;
+  options.write_ratio = 0.2;
+
+  const RunResult result =
+      RunBenchmark(options, lock->stats(), [&](std::uint32_t, Rng&, bool is_write) {
+        if (is_write) {
+          lock->Write([&] { cell.Store(cell.Load() + 1); });
+        } else {
+          lock->Read([&] { (void)cell.Load(); });
+        }
+      });
+
+  EXPECT_EQ(result.stats.TotalCommits(), 500u);
+  EXPECT_GT(result.stats.commits[static_cast<int>(CommitPath::kUninstrumentedRead)], 0u);
+  EXPECT_GT(result.cost.parallel, 0u);
+}
+
+TEST(FigureReportTest, RendersAllPanels) {
+  FigureReport report("Figure X", "write locks %");
+  RunResult result;
+  result.threads = 2;
+  result.total_ops = 100;
+  result.wall_seconds = 0.01;
+  result.modeled_seconds = 0.02;
+  result.stats.commits[static_cast<int>(CommitPath::kHtm)] = 60;
+  result.stats.commits[static_cast<int>(CommitPath::kSerial)] = 40;
+  result.stats.aborts[static_cast<int>(AbortCategory::kHtmCapacity)] = 25;
+  report.Add("hle", 10, result);
+
+  result.threads = 4;
+  report.Add("hle", 10, result);
+  report.Add("rwle-opt", 10, result);
+
+  const std::string ascii = report.Render(false);
+  EXPECT_NE(ascii.find("Figure X"), std::string::npos);
+  EXPECT_NE(ascii.find("modeled time"), std::string::npos);
+  EXPECT_NE(ascii.find("HTM capacity"), std::string::npos);
+  EXPECT_NE(ascii.find("rwle-opt"), std::string::npos);
+
+  const std::string csv = report.Render(true);
+  EXPECT_NE(csv.find("threads,hle,rwle-opt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwle

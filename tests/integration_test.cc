@@ -1,0 +1,228 @@
+// Cross-cutting integration tests:
+//  - single-threaded differential oracle: every scheme must produce the
+//    exact same final state for the same seeded operation sequence,
+//  - independence of distinct RwLeLock instances,
+//  - Algorithm 1's release-at-suspend property,
+//  - harness end-to-end over every scheme and workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_registry.h"
+#include "src/harness/bench_harness.h"
+#include "src/locks/lock_factory.h"
+#include "src/memory/tx_var.h"
+#include "src/rwle/rwle_basic_lock.h"
+#include "src/rwle/rwle_lock.h"
+#include "src/workloads/hashmap/hashmap_workload.h"
+#include "src/workloads/kyoto/cache_db.h"
+#include "src/workloads/stmbench7/stmbench7.h"
+#include "src/workloads/tpcc/tpcc.h"
+
+namespace rwle {
+namespace {
+
+// With one thread, execution is deterministic: every synchronization scheme
+// must drive the workload to the identical final state. This catches any
+// scheme whose retry machinery leaks side effects (double-applied bodies,
+// lost stores, phantom commits).
+TEST(DifferentialTest, AllSchemesProduceIdenticalSingleThreadedState) {
+  struct Fingerprint {
+    std::uint64_t size;
+    std::uint64_t key_sum;
+  };
+  std::map<std::string, Fingerprint> results;
+
+  std::vector<std::string> schemes = AllLockNames();
+  schemes.push_back("rwle-fair");
+  schemes.push_back("rwle-norot");
+  schemes.push_back("rwle-split");
+  schemes.push_back("rwle-adaptive");
+
+  for (const auto& name : schemes) {
+    auto lock = MakeLock(name);
+    ASSERT_NE(lock, nullptr) << name;
+    HashMapWorkload workload(HashMapScenario{.buckets = 8, .per_bucket = 16});
+    ScopedThreadSlot slot;
+    Rng rng(424242);
+    for (int i = 0; i < 3000; ++i) {
+      workload.Op(*lock, rng, rng.NextBool(0.4));
+    }
+    results[name] = {workload.map().SizeDirect(), workload.map().KeySumDirect()};
+  }
+
+  const Fingerprint& reference = results.begin()->second;
+  for (const auto& [name, fingerprint] : results) {
+    EXPECT_EQ(fingerprint.size, reference.size) << name;
+    EXPECT_EQ(fingerprint.key_sum, reference.key_sum) << name;
+  }
+}
+
+TEST(MultiLockTest, DistinctLocksDoNotSerializeEachOther) {
+  // A writer quiescing on lock A must not wait for a reader parked inside
+  // lock B's critical section: epoch clocks are per lock instance.
+  RwLeLock lock_a;
+  RwLeLock lock_b;
+  TxVar<std::uint64_t> a_data(0);
+  std::atomic<int> phase{0};
+  std::atomic<bool> write_done{false};
+
+  std::thread parked_reader([&] {
+    ScopedThreadSlot slot;
+    lock_b.Read([&] {
+      phase.store(1);
+      while (phase.load() != 2) {
+        std::this_thread::yield();
+      }
+    });
+  });
+
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+  std::thread writer([&] {
+    ScopedThreadSlot slot;
+    lock_a.Write([&] { a_data.Store(1); });  // must not block on lock_b's reader
+    write_done.store(true);
+  });
+  writer.join();  // completes even though lock_b's reader is still parked
+  EXPECT_TRUE(write_done.load());
+  EXPECT_EQ(a_data.LoadDirect(), 1u);
+  phase.store(2);
+  parked_reader.join();
+}
+
+TEST(MultiLockTest, TwoLocksProtectDisjointDataConcurrently) {
+  RwLeLock lock_a;
+  RwLeLock lock_b;
+  TxVar<std::uint64_t> a_data(0);
+  TxVar<std::uint64_t> b_data(0);
+
+  std::thread thread_a([&] {
+    ScopedThreadSlot slot;
+    for (int i = 0; i < 500; ++i) {
+      lock_a.Write([&] { a_data.Store(a_data.Load() + 1); });
+    }
+  });
+  std::thread thread_b([&] {
+    ScopedThreadSlot slot;
+    for (int i = 0; i < 500; ++i) {
+      lock_b.Write([&] { b_data.Store(b_data.Load() + 1); });
+    }
+  });
+  thread_a.join();
+  thread_b.join();
+  EXPECT_EQ(a_data.LoadDirect(), 500u);
+  EXPECT_EQ(b_data.LoadDirect(), 500u);
+}
+
+TEST(BasicLockTest, WriterLockReleasedBeforeQuiescence) {
+  // Algorithm 1 line 23: the writer lock is released at suspend time, so a
+  // second writer can start while the first is still draining readers. We
+  // verify the weaker observable: a writer whose quiescence is blocked by a
+  // parked reader does not prevent another writer from making progress.
+  RwLeBasicLock lock;
+  TxVar<std::uint64_t> x(0);
+  TxVar<std::uint64_t> y(0);
+  std::atomic<int> phase{0};
+  std::atomic<bool> second_done{false};
+
+  std::thread reader([&] {
+    ScopedThreadSlot slot;
+    lock.Read([&] {
+      phase.store(1);
+      while (phase.load() != 2) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+
+  std::thread first_writer([&] {
+    ScopedThreadSlot slot;
+    lock.Write([&] { x.Store(1); });  // parks in Synchronize (reader is odd)
+  });
+  std::thread second_writer([&] {
+    ScopedThreadSlot slot;
+    lock.Write([&] { y.Store(1); });  // must acquire the released lock
+    second_done.store(true);
+  });
+
+  // The second writer also quiesces on the parked reader, so neither can
+  // *finish* -- but both must reach their suspend point (lock released
+  // twice). Release the reader and everything completes.
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::yield();
+  }
+  phase.store(2);
+  first_writer.join();
+  second_writer.join();
+  reader.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(x.LoadDirect(), 1u);
+  EXPECT_EQ(y.LoadDirect(), 1u);
+}
+
+// Harness end-to-end over every (scheme, workload) pair: small runs, checks
+// the books balance (commits == ops) and invariants hold afterwards.
+class HarnessMatrixTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HarnessMatrixTest, HashmapBooksBalance) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  HashMapWorkload workload(HashMapScenario{.buckets = 4, .per_bucket = 16});
+  RunOptions options;
+  options.threads = 3;
+  options.total_ops = 900;
+  options.write_ratio = 0.3;
+  const RunResult result = RunBenchmark(
+      options, lock->stats(),
+      [&](std::uint32_t, Rng& rng, bool is_write) { workload.Op(*lock, rng, is_write); });
+  EXPECT_EQ(result.stats.TotalCommits(), 900u) << GetParam();
+}
+
+TEST_P(HarnessMatrixTest, TpccMoneyConserved) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 8;
+  config.items = 64;
+  config.stock_per_warehouse = 64;
+  config.order_ring_size = 16;
+  config.max_order_lines = 5;
+  config.stock_level_orders = 8;
+  TpccWorkload workload(config);
+  RunOptions options;
+  options.threads = 3;
+  options.total_ops = 600;
+  options.write_ratio = 0.5;
+  RunBenchmark(options, lock->stats(), [&](std::uint32_t, Rng& rng, bool is_write) {
+    workload.Op(*lock, rng, is_write);
+  });
+  (void)workload.db().TotalYtdDirect();  // internal warehouse==district check
+  EXPECT_TRUE(workload.db().CheckOrderRingsDirect()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, HarnessMatrixTest,
+                         ::testing::Values("rwle-opt", "rwle-pes", "rwle-split",
+                                           "rwle-adaptive", "hle", "brlock", "rwl", "sgl"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rwle

@@ -1,0 +1,330 @@
+// Tests for the baseline synchronization schemes (HLE, BRLock, RWL, SGL),
+// the nested TxMutex, and the lock factory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_registry.h"
+#include "src/locks/br_lock.h"
+#include "src/locks/hle_lock.h"
+#include "src/locks/lock_factory.h"
+#include "src/locks/rw_lock.h"
+#include "src/locks/sgl_lock.h"
+#include "src/locks/tx_mutex.h"
+#include "src/memory/tx_var.h"
+
+namespace rwle {
+namespace {
+
+HtmRuntime& Rt() { return HtmRuntime::Global(); }
+
+class LocksTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_config_ = Rt().config(); }
+  void TearDown() override { Rt().set_config(saved_config_); }
+  HtmConfig saved_config_;
+};
+
+TEST_F(LocksTest, HleCommitsSpeculativelyWhenUncontended) {
+  ScopedThreadSlot slot;
+  HleLock lock;
+  TxVar<std::uint64_t> cell(0);
+  lock.Write([&] { cell.Store(1); });
+  lock.Read([&] { EXPECT_EQ(cell.Load(), 1u); });
+
+  const ThreadStats stats = lock.stats().Aggregate();
+  EXPECT_EQ(stats.commits[static_cast<int>(CommitPath::kHtm)], 2u);
+  EXPECT_EQ(stats.commits[static_cast<int>(CommitPath::kSerial)], 0u);
+}
+
+TEST_F(LocksTest, HleFallsBackToSerialOnCapacity) {
+  ScopedThreadSlot slot;
+  HtmConfig config = Rt().config();
+  config.max_read_lines = 2;
+  Rt().set_config(config);
+
+  HleLock lock;
+  struct alignas(kCacheLineBytes) Cell {
+    TxVar<std::uint64_t> v;
+  };
+  std::vector<Cell> cells(8);
+
+  // Even a *read* section goes serial under HLE once it overflows capacity
+  // -- the asymmetry RW-LE exploits.
+  lock.Read([&] {
+    std::uint64_t sum = 0;
+    for (auto& cell : cells) {
+      sum += cell.v.Load();
+    }
+    (void)sum;
+  });
+
+  const ThreadStats stats = lock.stats().Aggregate();
+  EXPECT_EQ(stats.commits[static_cast<int>(CommitPath::kSerial)], 1u);
+  EXPECT_GE(stats.aborts[static_cast<int>(AbortCategory::kHtmCapacity)], 1u);
+}
+
+template <typename Lock>
+void ExerciseMutualExclusion(Lock& lock, int threads, int iterations) {
+  TxVar<std::uint64_t> counter(0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      ScopedThreadSlot slot;
+      for (int i = 0; i < iterations; ++i) {
+        lock.Write([&] { counter.Store(counter.Load() + 1); });
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter.LoadDirect(), static_cast<std::uint64_t>(threads) * iterations);
+}
+
+TEST_F(LocksTest, HleWriteMutualExclusion) {
+  HleLock lock;
+  ExerciseMutualExclusion(lock, 4, 150);
+}
+
+TEST_F(LocksTest, BrLockWriteMutualExclusion) {
+  BrLock lock;
+  ExerciseMutualExclusion(lock, 4, 150);
+}
+
+TEST_F(LocksTest, RwLockWriteMutualExclusion) {
+  RwLock lock;
+  ExerciseMutualExclusion(lock, 4, 150);
+}
+
+TEST_F(LocksTest, SglWriteMutualExclusion) {
+  SglLock lock;
+  ExerciseMutualExclusion(lock, 4, 150);
+}
+
+TEST_F(LocksTest, RwLockAllowsConcurrentReaders) {
+  RwLock lock;
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_readers{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      ScopedThreadSlot slot;
+      for (int i = 0; i < 50; ++i) {
+        lock.Read([&] {
+          const int inside = readers_inside.fetch_add(1) + 1;
+          int seen = max_readers.load();
+          while (inside > seen && !max_readers.compare_exchange_weak(seen, inside)) {
+          }
+          std::this_thread::yield();
+          readers_inside.fetch_sub(1);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_GE(max_readers.load(), 2);
+}
+
+TEST_F(LocksTest, RwLockWriterExcludesReaders) {
+  RwLock lock;
+  std::atomic<bool> writer_inside{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    ScopedThreadSlot slot;
+    for (int i = 0; i < 200; ++i) {
+      lock.Write([&] {
+        writer_inside.store(true);
+        std::this_thread::yield();
+        writer_inside.store(false);
+      });
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    ScopedThreadSlot slot;
+    while (!stop.load()) {
+      lock.Read([&] {
+        if (writer_inside.load()) {
+          violations.fetch_add(1);
+        }
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST_F(LocksTest, BrLockReadersDontBlockEachOther) {
+  BrLock lock;
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_readers{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      ScopedThreadSlot slot;
+      for (int i = 0; i < 50; ++i) {
+        lock.Read([&] {
+          const int inside = readers_inside.fetch_add(1) + 1;
+          int seen = max_readers.load();
+          while (inside > seen && !max_readers.compare_exchange_weak(seen, inside)) {
+          }
+          std::this_thread::yield();
+          readers_inside.fetch_sub(1);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_GE(max_readers.load(), 2);
+}
+
+TEST_F(LocksTest, TxMutexPhysicalAcquisitionExcludes) {
+  TxMutex mutex;
+  TxVar<std::uint64_t> counter(0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      ScopedThreadSlot slot;
+      for (int i = 0; i < 200; ++i) {
+        const TxMutex::Acquisition acq = mutex.Lock();
+        EXPECT_EQ(acq, TxMutex::Acquisition::kPhysical);  // no transaction active
+        counter.Store(counter.Load() + 1);
+        mutex.Unlock(acq);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter.LoadDirect(), 800u);
+  EXPECT_FALSE(mutex.IsLockedDirect());
+}
+
+TEST_F(LocksTest, TxMutexElidedInsideTransactionAbortsIfBusy) {
+  TxMutex mutex;
+  std::atomic<int> phase{0};
+
+  std::thread holder([&] {
+    ScopedThreadSlot slot;
+    const TxMutex::Acquisition acq = mutex.Lock();
+    phase.store(1);
+    while (phase.load() != 2) {
+      std::this_thread::yield();
+    }
+    mutex.Unlock(acq);
+  });
+
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+  {
+    ScopedThreadSlot slot;
+    Rt().TxBegin(TxKind::kHtm);
+    EXPECT_THROW(mutex.Lock(), TxAbortException);  // busy -> self-abort
+  }
+  phase.store(2);
+  holder.join();
+}
+
+TEST_F(LocksTest, TxMutexElidedAcquisitionIsSubscription) {
+  ScopedThreadSlot slot;
+  TxMutex mutex;
+  Rt().TxBegin(TxKind::kHtm);
+  const TxMutex::Acquisition acq = mutex.Lock();
+  EXPECT_EQ(acq, TxMutex::Acquisition::kElidedSubscribed);
+  mutex.Unlock(acq);
+  Rt().TxCommit();
+  EXPECT_FALSE(mutex.IsLockedDirect());  // nothing physically acquired
+}
+
+TEST_F(LocksTest, TxMutexRotClaimIsTrackedAndRollsBack) {
+  ScopedThreadSlot slot;
+  TxMutex mutex;
+  // A ROT must claim the word through its write set (subscription would be
+  // untracked). Commit publishes no net change; abort rolls back cleanly.
+  Rt().TxBegin(TxKind::kRot);
+  const TxMutex::Acquisition acq = mutex.Lock();
+  EXPECT_EQ(acq, TxMutex::Acquisition::kElidedClaimed);
+  mutex.Unlock(acq);
+  Rt().TxCommit();
+  EXPECT_FALSE(mutex.IsLockedDirect());
+
+  Rt().TxBegin(TxKind::kRot);
+  (void)mutex.Lock();  // claimed, not yet unlocked
+  Rt().TxCancel();
+  EXPECT_FALSE(mutex.IsLockedDirect());  // speculative claim discarded
+}
+
+TEST_F(LocksTest, PhysicalAcquisitionDoomsRotClaimHolder) {
+  TxMutex mutex;
+  std::atomic<int> phase{0};
+
+  std::thread rot([&] {
+    ScopedThreadSlot slot;
+    Rt().TxBegin(TxKind::kRot);
+    const TxMutex::Acquisition acq = mutex.Lock();
+    EXPECT_EQ(acq, TxMutex::Acquisition::kElidedClaimed);
+    phase.store(1);
+    while (phase.load() != 2) {
+      std::this_thread::yield();
+    }
+    // Doomed by the physical acquirer: the abort surfaces at the next
+    // fabric access (the unlock's buffered store) or at commit. In real use
+    // this propagates into the elision layer's retry loop.
+    EXPECT_THROW(
+        {
+          mutex.Unlock(acq);
+          Rt().TxCommit();
+        },
+        TxAbortException);
+  });
+
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+  // Physical acquisition must doom the claiming ROT -- this is the fix for
+  // the Kyoto free-list corruption (ROT loads are untracked, so only the
+  // write-set claim makes this conflict visible).
+  const TxMutex::Acquisition acq = mutex.Lock();
+  EXPECT_EQ(acq, TxMutex::Acquisition::kPhysical);
+  mutex.Unlock(acq);
+  phase.store(2);
+  rot.join();
+}
+
+TEST_F(LocksTest, FactoryKnowsAllSchemes) {
+  for (const auto& name : AllLockNames()) {
+    EXPECT_NE(MakeLock(name), nullptr) << name;
+  }
+  EXPECT_NE(MakeLock("rwle-fair"), nullptr);
+  EXPECT_NE(MakeLock("rwle-norot"), nullptr);
+  EXPECT_NE(MakeLock("rwle-split"), nullptr);
+  EXPECT_EQ(MakeLock("bogus"), nullptr);
+}
+
+TEST_F(LocksTest, FactoryLocksRunBasicTraffic) {
+  for (const auto& name : AllLockNames()) {
+    auto lock = MakeLock(name);
+    ASSERT_NE(lock, nullptr) << name;
+    ScopedThreadSlot slot;
+    TxVar<std::uint64_t> cell(0);
+    lock->Write([&] { cell.Store(11); });
+    std::uint64_t seen = 0;
+    lock->Read([&] { seen = cell.Load(); });
+    EXPECT_EQ(seen, 11u) << name;
+    EXPECT_GE(lock->stats().Aggregate().TotalCommits(), 2u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rwle

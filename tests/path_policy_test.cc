@@ -1,0 +1,163 @@
+// Unit tests for the PATH retry state machine (Algorithm 2 lines 28-40) and
+// the epoch-clock quiescence primitives.
+#include "src/rwle/path_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/thread_registry.h"
+#include "src/rwle/epoch_clocks.h"
+
+namespace rwle {
+namespace {
+
+TEST(PathPolicyTest, OptPolicyWalksHtmRotNs) {
+  RwLePolicy config;
+  config.max_htm_retries = 2;
+  config.max_rot_retries = 2;
+  PathPolicy policy(config);
+
+  EXPECT_EQ(policy.current(), WritePath::kHtm);
+  policy.OnAbort(/*persistent=*/false);
+  EXPECT_EQ(policy.current(), WritePath::kHtm);  // 1 trial left
+  policy.OnAbort(false);
+  EXPECT_EQ(policy.current(), WritePath::kRot);
+  policy.OnAbort(false);
+  EXPECT_EQ(policy.current(), WritePath::kRot);
+  policy.OnAbort(false);
+  EXPECT_EQ(policy.current(), WritePath::kNs);
+  policy.OnAbort(false);  // NS never demotes further
+  EXPECT_EQ(policy.current(), WritePath::kNs);
+}
+
+TEST(PathPolicyTest, PersistentAbortSkipsRemainingTrials) {
+  RwLePolicy config;
+  config.max_htm_retries = 5;
+  config.max_rot_retries = 5;
+  PathPolicy policy(config);
+
+  policy.OnAbort(/*persistent=*/true);
+  EXPECT_EQ(policy.current(), WritePath::kRot);  // straight past 4 HTM retries
+  policy.OnAbort(true);
+  EXPECT_EQ(policy.current(), WritePath::kNs);
+}
+
+TEST(PathPolicyTest, PesStartsAtRot) {
+  RwLePolicy config;
+  config.variant = RwLeVariant::kPes;
+  PathPolicy policy(config);
+  EXPECT_EQ(policy.current(), WritePath::kRot);
+}
+
+TEST(PathPolicyTest, NoRotSkipsRotPath) {
+  RwLePolicy config;
+  config.use_rot = false;
+  config.max_htm_retries = 1;
+  PathPolicy policy(config);
+  EXPECT_EQ(policy.current(), WritePath::kHtm);
+  policy.OnAbort(false);
+  EXPECT_EQ(policy.current(), WritePath::kNs);
+}
+
+TEST(PathPolicyTest, ZeroHtmRetriesStartsDemoted) {
+  RwLePolicy config;
+  config.max_htm_retries = 0;
+  PathPolicy policy(config);
+  EXPECT_EQ(policy.current(), WritePath::kRot);
+}
+
+TEST(EpochClocksTest, EnterExitTogglesParity) {
+  ScopedThreadSlot slot;
+  EpochClocks clocks;
+  const std::uint32_t s = slot.slot();
+  EXPECT_FALSE(EpochClocks::IsInCriticalSection(clocks.Value(s)));
+  clocks.Enter(s);
+  EXPECT_TRUE(EpochClocks::IsInCriticalSection(clocks.Value(s)));
+  clocks.Exit(s);
+  EXPECT_FALSE(EpochClocks::IsInCriticalSection(clocks.Value(s)));
+  EXPECT_EQ(clocks.Value(s), 2u);
+}
+
+TEST(EpochClocksTest, SynchronizeReturnsImmediatelyWhenQuiescent) {
+  ScopedThreadSlot slot;
+  EpochClocks clocks;
+  clocks.Synchronize();  // must not block
+  clocks.SynchronizeBlockedReaders();
+}
+
+TEST(EpochClocksTest, SynchronizeWaitsForReaderToAdvance) {
+  EpochClocks clocks;
+  std::atomic<int> phase{0};
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    ScopedThreadSlot slot;
+    clocks.Enter(slot.slot());
+    phase.store(1);
+    while (phase.load() != 2) {
+      std::this_thread::yield();
+    }
+    clocks.Exit(slot.slot());
+  });
+
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+  std::thread syncer([&] {
+    ScopedThreadSlot slot;
+    clocks.Synchronize();
+    done.store(true);
+  });
+  for (int i = 0; i < 50; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(done.load());
+  phase.store(2);
+  syncer.join();
+  reader.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(EpochClocksTest, SynchronizeIgnoresReadersThatStartedAfterSnapshot) {
+  // A reader that enters *after* Synchronize snapshots the clocks must not
+  // extend the wait indefinitely: the barrier only waits for the snapshot
+  // generation. We approximate by checking Synchronize completes while a
+  // fresh reader sits in its critical section.
+  EpochClocks clocks;
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    ScopedThreadSlot slot;
+    clocks.Enter(slot.slot());
+    reader_in.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+    clocks.Exit(slot.slot());
+  });
+
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+  {
+    // This thread saw the reader already inside: Synchronize must wait for
+    // it. Instead, test the complementary property: after the reader's
+    // clock advanced once past the snapshot, new entries don't re-arm it.
+    ScopedThreadSlot slot;
+    std::atomic<bool> sync_done{false};
+    std::thread syncer([&] {
+      clocks.Synchronize();
+      sync_done.store(true);
+    });
+    release.store(true);  // reader leaves; it may re-enter in other tests
+    syncer.join();
+    EXPECT_TRUE(sync_done.load());
+  }
+  reader.join();
+}
+
+}  // namespace
+}  // namespace rwle
