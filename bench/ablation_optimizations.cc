@@ -83,5 +83,5 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s", report.Render(options.csv).c_str());
-  return 0;
+  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
 }

@@ -17,6 +17,11 @@
 #include "src/harness/figure_report.h"
 #include "src/locks/lock_factory.h"
 
+#ifdef RWLE_ANALYSIS
+#include "src/analysis/txsan.h"
+#include "src/htm/htm_runtime.h"
+#endif
+
 namespace rwle {
 
 struct BenchOptions {
@@ -25,6 +30,7 @@ struct BenchOptions {
   std::vector<std::string> schemes;
   std::uint64_t seed = 42;
   bool csv = false;
+  bool analysis = false;
 };
 
 // Parses the common benchmark flags. Defaults are sized for a quick run on
@@ -40,6 +46,7 @@ inline bool ParseBenchFlags(int argc, char** argv, const std::string& descriptio
   std::uint64_t seed = 42;
   bool csv = false;
   bool full = false;
+  bool analysis = false;
 
   FlagSet flags(description);
   flags.AddString("threads", &threads, "comma-separated thread counts");
@@ -49,8 +56,24 @@ inline bool ParseBenchFlags(int argc, char** argv, const std::string& descriptio
   flags.AddUint("seed", &seed, "base RNG seed");
   flags.AddBool("csv", &csv, "emit CSV instead of ASCII tables");
   flags.AddBool("full", &full, "paper-scale sweep (more threads and ops)");
+  flags.AddBool("analysis", &analysis,
+                "run under the txsan oracle and print its summary "
+                "(requires an RWLE_ANALYSIS build)");
   if (!flags.Parse(argc, argv)) {
     return false;
+  }
+
+  if (analysis) {
+#ifdef RWLE_ANALYSIS
+    txsan::TxSan::Options txsan_options;
+    txsan_options.abort_on_violation = false;  // summarize at exit instead
+    txsan::TxSan::Global().Enable(txsan_options, &HtmRuntime::Global());
+#else
+    std::fprintf(stderr,
+                 "--analysis requires a build configured with "
+                 "-DRWLE_ANALYSIS=ON\n");
+    return false;
+#endif
   }
 
   bool threads_ok = false;
@@ -63,7 +86,22 @@ inline bool ParseBenchFlags(int argc, char** argv, const std::string& descriptio
   out->total_ops = ops != 0 ? ops : (full ? full_ops : default_ops);
   out->seed = seed;
   out->csv = csv;
+  out->analysis = analysis;
   return true;
+}
+
+// Prints the txsan verdict after a --analysis run; no-op otherwise. Returns
+// the number of violations (the bench main can turn it into an exit code).
+inline std::uint64_t FinishAnalysis(const BenchOptions& options) {
+  if (!options.analysis) {
+    return 0;
+  }
+#ifdef RWLE_ANALYSIS
+  txsan::TxSan::Global().PrintSummary(stderr);
+  return txsan::TxSan::Global().violation_count();
+#else
+  return 0;
+#endif
 }
 
 // Runs the (scheme x write-ratio x thread-count) grid for one figure.

@@ -27,5 +27,5 @@ int main(int argc, char** argv) {
          bool is_write) { workload.Op(lock, rng, is_write); });
 
   std::printf("%s", report.Render(options.csv).c_str());
-  return 0;
+  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
 }

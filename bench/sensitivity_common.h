@@ -44,7 +44,7 @@ inline int SensitivityMain(int argc, char** argv, const std::string& title,
                 static_cast<unsigned long long>(paging->TotalFaults()));
     HtmRuntime::Global().set_interrupt_source(nullptr);
   }
-  return 0;
+  return FinishAnalysis(options) == 0 ? 0 : 2;
 }
 
 }  // namespace rwle

@@ -1,0 +1,248 @@
+// txsan: a dynamic race detector and TM-semantics oracle for the simulated
+// HTM fabric. Compiled only in RWLE_ANALYSIS builds.
+//
+// txsan installs itself as the fabric's FabricObserver. Every terminal
+// memory access is performed by txsan under one global mutex, which gives
+// it an exact, linearized view of memory: it keeps a shadow copy of every
+// cell (value + version + last writer) plus per-transaction mirrors of the
+// write buffer and HTM read set, and checks the DESIGN.md §3 contract on
+// every event. On top of the oracle, a FastTrack-style vector-clock engine
+// flags unsynchronized conflicting accesses that involve the TxVar
+// LoadDirect/StoreDirect escape hatches (fabric-vs-fabric pairs are always
+// mediated by the simulated coherence protocol and are never races).
+//
+// The invariant catalogue is the Invariant enum below; DESIGN.md §7 gives
+// the full prose version. Violations carry per-thread event-ring traces.
+#ifndef RWLE_SRC_ANALYSIS_TXSAN_H_
+#define RWLE_SRC_ANALYSIS_TXSAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/htm/fabric_observer.h"
+
+namespace rwle {
+
+class HtmRuntime;
+
+namespace txsan {
+
+// The invariant catalogue. Every violation report names exactly one of
+// these; InvariantName() gives the stable string used in reports and tests.
+enum class Invariant : std::uint8_t {
+  // TM-semantics oracle (DESIGN.md §3 contract).
+  kSpeculativeVisible = 0,   // speculative store observed before commit
+  kAtomicCommit = 1,         // cell value diverged from shadow (torn publish)
+  kCommitLostStore = 2,      // aggregate commit dropped a write-set entry
+  kAbortedWriteBack = 3,     // doomed transaction published its buffer
+  kConflictNotDoomed = 4,    // footprint changed under a committing tx
+  kSuspendedUnmonitored = 5, // suspended write set lost its line ownership
+  kRotReadSetNotEmpty = 6,   // ROT tracked loads in its read set
+  kQuiescenceIncomplete = 7, // reader admitted before the scan never drained
+  kCommitWithoutQuiescence = 8,  // elided writer committed without a scan
+  // Race detector.
+  kDirectAccessDuringTx = 9,  // LoadDirect/StoreDirect vs live transaction
+  kDataRace = 10,             // unsynchronized conflicting direct access
+};
+
+const char* InvariantName(Invariant invariant);
+
+struct Report {
+  Invariant invariant;
+  std::string message;  // one-line description + event-ring trace
+};
+
+// One entry of a per-thread event ring, kept for violation reports.
+struct Event {
+  std::uint64_t seq = 0;  // global order (txsan mutex is the linearizer)
+  const char* kind = "";
+  const void* cell = nullptr;
+  std::uint64_t value = 0;
+};
+
+class TxSan final : public FabricObserver {
+ public:
+  struct Options {
+    // Abort the process on the first violation (after printing the report).
+    // The env-enabled mode uses this so analysis test variants fail loudly;
+    // the self-tests keep it off and inspect reports instead.
+    bool abort_on_violation = false;
+  };
+
+  static TxSan& Global();
+
+  // Installs this observer on `runtime` (default: HtmRuntime::Global()) and
+  // hooks thread registration. Idempotent.
+  void Enable(const Options& options, HtmRuntime* runtime = nullptr);
+  void Enable() { Enable(Options{}); }
+  // Uninstalls the observer. Reports and counters are kept.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  // Drops all shadow state, vector clocks, mirrors, and reports. Only call
+  // while no transaction or critical section is live (between test cases).
+  void ResetState();
+
+  std::uint64_t violation_count() const {
+    return violation_count_.load(std::memory_order_acquire);
+  }
+  std::uint64_t events_observed() const {
+    return events_observed_.load(std::memory_order_relaxed);
+  }
+  std::vector<Report> reports() const;
+  bool HasViolation(Invariant invariant) const;
+  void PrintSummary(std::FILE* out) const;
+
+  // --- FabricObserver ---
+  void OnTxBegin(std::uint32_t slot, TxKind kind) override;
+  void OnTxCommitting(std::uint32_t slot) override;
+  void OnTxCommitted(std::uint32_t slot, TxKind kind) override;
+  void OnTxAborted(std::uint32_t slot, TxKind kind, AbortCause cause) override;
+  void OnTxSuspend(std::uint32_t slot) override;
+  void OnTxResume(std::uint32_t slot) override;
+  void OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                          std::uint64_t value) override;
+  void OnBufferedLoad(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                      std::uint64_t value) override;
+  std::uint64_t ObservedLoad(FabricAccess access, std::uint32_t slot,
+                             std::atomic<std::uint64_t>* cell) override;
+  void ObservedStore(FabricAccess access, std::uint32_t slot,
+                     std::atomic<std::uint64_t>* cell, std::uint64_t value) override;
+  bool ObservedCas(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                   std::uint64_t expected, std::uint64_t desired) override;
+  void ObservedWriteBack(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                         std::uint64_t value) override;
+  void OnCellInit(std::atomic<std::uint64_t>* cell, std::uint64_t value) override;
+  void OnReaderEnter(std::uint32_t slot, const void* clocks) override;
+  void OnReaderExit(std::uint32_t slot, const void* clocks) override;
+  void OnQuiescenceBegin(std::uint32_t slot, const void* clocks) override;
+  void OnQuiescenceEnd(std::uint32_t slot, const void* clocks) override;
+  void OnElidedWriteBegin(std::uint32_t slot) override;
+  void OnElidedWriteEnd(std::uint32_t slot) override;
+
+ private:
+  // A vector-clock epoch: event `clock` of analysis thread `tid`.
+  struct VcEpoch {
+    int tid = -1;
+    std::uint64_t clock = 0;
+    bool direct = false;
+  };
+
+  struct TxWriteMirror {
+    std::uint64_t value = 0;
+    std::uint64_t version_at_claim = 0;
+    bool written_back = false;
+  };
+
+  struct ThreadState {
+    std::vector<std::uint64_t> vc;  // vc[tid] = own clock
+    std::uint32_t slot = 0xFFFFFFFFu;  // runtime slot while registered
+
+    // Reader-section tracking for the quiescence drain check, one entry per
+    // EpochClocks instance this thread has read under (a thread can be in
+    // read sections of several distinct locks at once).
+    struct ReaderSection {
+      const void* clocks = nullptr;
+      std::uint64_t gen = 0;  // bumped on every Enter of this instance
+      bool in_section = false;
+    };
+    std::vector<ReaderSection> read_sections;
+
+    // Elided-write bracket + quiescence accounting.
+    std::uint32_t elided_write_depth = 0;
+    std::uint64_t quiesce_end_count = 0;
+    std::uint64_t quiesce_count_at_tx_begin = 0;
+    std::vector<std::pair<int, std::uint64_t>> quiesce_snapshot;  // tid, gen
+
+    // Live-transaction mirror.
+    bool tx_live = false;
+    TxKind tx_kind = TxKind::kHtm;
+    std::unordered_map<std::atomic<std::uint64_t>*, TxWriteMirror> tx_writes;
+    std::unordered_map<std::atomic<std::uint64_t>*, std::uint64_t> tx_reads;  // version
+
+    // Event ring.
+    std::vector<Event> ring;
+    std::size_t ring_next = 0;
+  };
+
+  struct CellShadow {
+    bool initialized = false;
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+    int last_writer = -1;
+
+    // Live speculative footprint (analysis tids).
+    std::vector<int> spec_writers;
+    std::vector<int> monitor_readers;
+
+    // Race engine state.
+    VcEpoch last_write;
+    std::vector<VcEpoch> reads;
+    std::vector<std::uint64_t> sync_vc;  // release clock of fabric accesses
+  };
+
+  TxSan() = default;
+
+  // All private helpers below require mu_ to be held.
+  int TidLocked();
+  ThreadState& StateLocked(int tid) { return threads_[static_cast<std::size_t>(tid)]; }
+  static ThreadState::ReaderSection& SectionLocked(ThreadState& state, const void* clocks);
+  void PreEventLocked(int tid);
+  void TickLocked(int tid);
+  void JoinVc(std::vector<std::uint64_t>& into, const std::vector<std::uint64_t>& from);
+  bool HappensBefore(const VcEpoch& epoch, const std::vector<std::uint64_t>& vc) const;
+  void RecordEventLocked(int tid, const char* kind, const void* cell, std::uint64_t value);
+  void ViolationLocked(Invariant invariant, int tid, std::string message);
+  std::string FormatRingLocked(int tid) const;
+
+  void FabricSyncLocked(int tid, CellShadow& shadow);
+  void ValueCheckLocked(int tid, CellShadow& shadow, std::atomic<std::uint64_t>* cell,
+                        std::uint64_t observed);
+  void RaceCheckReadLocked(int tid, CellShadow& shadow, std::atomic<std::uint64_t>* cell,
+                           bool direct);
+  void RaceCheckWriteLocked(int tid, CellShadow& shadow, std::atomic<std::uint64_t>* cell,
+                            bool direct);
+  void ApplyWriteShadowLocked(int tid, CellShadow& shadow, std::uint64_t value);
+  void DirectMisuseCheckLocked(int tid, CellShadow& shadow, std::atomic<std::uint64_t>* cell,
+                               bool is_store);
+  // True if `tid`'s live transaction is currently doomed (needs the runtime
+  // context, so only meaningful for registered threads).
+  bool TxDoomedLocked(const ThreadState& state) const;
+  void CheckWriteSetMonitoredLocked(int tid, const char* where);
+  void ClearFootprintLocked(int tid);
+  static void EraseTid(std::vector<int>& tids, int tid);
+
+  // Thread-registry hook trampolines.
+  static void ThreadRegisterHook(std::uint32_t slot);
+  static void ThreadUnregisterHook(std::uint32_t slot);
+
+  mutable std::mutex mu_;
+  HtmRuntime* runtime_ = nullptr;
+  Options options_;
+  std::atomic<bool> enabled_{false};
+
+  std::deque<ThreadState> threads_;  // indexed by analysis tid; stable refs
+  std::unordered_map<std::atomic<std::uint64_t>*, CellShadow> shadow_;
+  std::vector<std::uint64_t> lifecycle_vc_;  // spawn/join edges via registry
+
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> events_observed_{0};
+  std::atomic<std::uint64_t> violation_count_{0};
+  std::vector<Report> reports_;  // capped
+};
+
+// Called once from HtmRuntime::Global() in analysis builds: enables txsan
+// with abort_on_violation=true when RWLE_TXSAN is set in the environment
+// (how the *_analysis ctest variants and --analysis benches switch it on).
+void InitFromEnv(HtmRuntime* runtime);
+
+}  // namespace txsan
+}  // namespace rwle
+
+#endif  // RWLE_SRC_ANALYSIS_TXSAN_H_

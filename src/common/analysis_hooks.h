@@ -1,0 +1,33 @@
+// Function-pointer hooks that let the analysis build (src/analysis) observe
+// events in src/common without a library dependency cycle: common code calls
+// through these pointers (only in RWLE_ANALYSIS builds), and txsan installs
+// its handlers when enabled. Null pointers mean "analysis not enabled" and
+// cost one relaxed atomic load per event in analysis builds, nothing at all
+// in production builds (the call sites are compiled out).
+#ifndef RWLE_SRC_COMMON_ANALYSIS_HOOKS_H_
+#define RWLE_SRC_COMMON_ANALYSIS_HOOKS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rwle::analysis_hooks {
+
+using ThreadHook = void (*)(std::uint32_t slot);
+
+// Called by ScopedThreadSlot on the registering/unregistering thread, with
+// the slot it acquired/released. Registration happens-after everything the
+// spawning thread did; unregistration happens-before the join observer.
+inline std::atomic<ThreadHook> on_thread_register{nullptr};
+inline std::atomic<ThreadHook> on_thread_unregister{nullptr};
+
+inline void NotifyThreadRegister(std::uint32_t slot) {
+  if (ThreadHook hook = on_thread_register.load(std::memory_order_acquire)) hook(slot);
+}
+
+inline void NotifyThreadUnregister(std::uint32_t slot) {
+  if (ThreadHook hook = on_thread_unregister.load(std::memory_order_acquire)) hook(slot);
+}
+
+}  // namespace rwle::analysis_hooks
+
+#endif  // RWLE_SRC_COMMON_ANALYSIS_HOOKS_H_

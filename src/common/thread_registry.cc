@@ -1,5 +1,8 @@
 #include "src/common/thread_registry.h"
 
+#ifdef RWLE_ANALYSIS
+#include "src/common/analysis_hooks.h"
+#endif
 #include "src/common/check.h"
 
 namespace rwle {
@@ -43,9 +46,15 @@ ScopedThreadSlot::ScopedThreadSlot() : slot_(ThreadRegistry::Global().Register()
   RWLE_CHECK(tls_thread_slot == kInvalidThreadSlot &&
              "thread registered twice (nested ScopedThreadSlot)");
   tls_thread_slot = slot_;
+#ifdef RWLE_ANALYSIS
+  analysis_hooks::NotifyThreadRegister(slot_);
+#endif
 }
 
 ScopedThreadSlot::~ScopedThreadSlot() {
+#ifdef RWLE_ANALYSIS
+  analysis_hooks::NotifyThreadUnregister(slot_);
+#endif
   tls_thread_slot = kInvalidThreadSlot;
   ThreadRegistry::Global().Unregister(slot_);
 }

@@ -1,0 +1,104 @@
+// Observer interface the analysis build (txsan) plugs into the HTM fabric.
+//
+// The runtime exposes two classes of hook:
+//  - event hooks (OnTx*, OnReader*, OnQuiescence*): pure notifications,
+//    invoked on the thread the event belongs to;
+//  - observed terminal accesses (ObservedLoad/Store/Cas/WriteBack): the
+//    observer *performs* the actual memory operation itself, under its own
+//    serialization, so it can compare every observed value against exact
+//    shadow state without racing with concurrent committers.
+//
+// All hook invocation sites are compiled out unless RWLE_ANALYSIS is
+// defined, so the production fabric is byte-identical with the observer
+// machinery absent.
+#ifndef RWLE_SRC_HTM_FABRIC_OBSERVER_H_
+#define RWLE_SRC_HTM_FABRIC_OBSERVER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/htm/abort.h"
+
+namespace rwle {
+
+// How a terminal fabric access reached memory. Direct accesses are the
+// TxVar::LoadDirect/StoreDirect escape hatches that bypass the fabric
+// entirely in production builds.
+enum class FabricAccess : std::uint8_t {
+  kNonTx = 0,   // non-transactional fabric access (incl. suspended escape)
+  kTxHtm = 1,   // transactional access by an HTM transaction
+  kTxRot = 2,   // transactional access by a rollback-only transaction
+  kDirect = 3,  // TxVar LoadDirect / StoreDirect
+};
+
+class FabricObserver {
+ public:
+  virtual ~FabricObserver() = default;
+
+  // --- Transaction lifecycle (called on the transaction's own thread) ---
+  virtual void OnTxBegin(std::uint32_t slot, TxKind kind) = 0;
+  // The transaction won the ACTIVE -> COMMITTING race; write-back follows.
+  virtual void OnTxCommitting(std::uint32_t slot) = 0;
+  // Write-back done, footprint released; the commit is complete.
+  virtual void OnTxCommitted(std::uint32_t slot, TxKind kind) = 0;
+  // The transaction's speculative state has been discarded.
+  virtual void OnTxAborted(std::uint32_t slot, TxKind kind, AbortCause cause) = 0;
+  virtual void OnTxSuspend(std::uint32_t slot) = 0;
+  virtual void OnTxResume(std::uint32_t slot) = 0;
+
+  // A transactional store was buffered (no memory write happens).
+  virtual void OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                                  std::uint64_t value) = 0;
+  // A load was satisfied from the thread's own write buffer (read-own-writes
+  // or a suspended escape read of an own speculative cell).
+  virtual void OnBufferedLoad(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                              std::uint64_t value) = 0;
+
+  // --- Terminal memory operations, performed by the observer ---
+  virtual std::uint64_t ObservedLoad(FabricAccess access, std::uint32_t slot,
+                                     std::atomic<std::uint64_t>* cell) = 0;
+  virtual void ObservedStore(FabricAccess access, std::uint32_t slot,
+                             std::atomic<std::uint64_t>* cell, std::uint64_t value) = 0;
+  virtual bool ObservedCas(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                           std::uint64_t expected, std::uint64_t desired) = 0;
+  // One entry of a committing transaction's aggregate-store write-back.
+  virtual void ObservedWriteBack(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                                 std::uint64_t value) = 0;
+
+  // A TxVar was (re)constructed over this cell; analysis state for any prior
+  // occupant of the address must be discarded.
+  virtual void OnCellInit(std::atomic<std::uint64_t>* cell, std::uint64_t value) = 0;
+
+  // --- RW-LE layer events ---
+  // `clocks` identifies the EpochClocks instance: each lock drains only its
+  // own readers, so the quiescence check must be scoped to one instance.
+  virtual void OnReaderEnter(std::uint32_t slot, const void* clocks) = 0;
+  virtual void OnReaderExit(std::uint32_t slot, const void* clocks) = 0;
+  virtual void OnQuiescenceBegin(std::uint32_t slot, const void* clocks) = 0;
+  virtual void OnQuiescenceEnd(std::uint32_t slot, const void* clocks) = 0;
+  // Brackets an RW-LE elided write critical section (outermost only); any
+  // transaction that commits stores inside the bracket must have run a
+  // quiescence scan since it began.
+  virtual void OnElidedWriteBegin(std::uint32_t slot) = 0;
+  virtual void OnElidedWriteEnd(std::uint32_t slot) = 0;
+};
+
+}  // namespace rwle
+
+// Invokes an observer hook if one is installed; compiles to nothing in
+// non-analysis builds. `runtime` is an HtmRuntime lvalue, `call` is the
+// member call to make on the observer, e.g.
+//   RWLE_TXSAN_HOOK(*this, OnTxBegin(slot, kind));
+#ifdef RWLE_ANALYSIS
+#define RWLE_TXSAN_HOOK(runtime, call)                                      \
+  do {                                                                      \
+    if (::rwle::FabricObserver* txsan_obs_ = (runtime).analysis_observer()) \
+      txsan_obs_->call;                                                     \
+  } while (0)
+#else
+#define RWLE_TXSAN_HOOK(runtime, call) \
+  do {                                 \
+  } while (0)
+#endif
+
+#endif  // RWLE_SRC_HTM_FABRIC_OBSERVER_H_

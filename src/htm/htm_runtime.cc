@@ -9,8 +9,22 @@
 
 namespace rwle {
 
+#ifdef RWLE_ANALYSIS
+namespace txsan {
+// Defined in src/analysis/txsan.cc; installs the observer when RWLE_TXSAN=1
+// is set in the environment. Referencing it here (rather than relying on a
+// static initializer in the analysis library) guarantees the linker keeps
+// the txsan objects in analysis builds.
+void InitFromEnv(HtmRuntime* runtime);
+}  // namespace txsan
+#endif
+
 HtmRuntime& HtmRuntime::Global() {
   static HtmRuntime runtime;
+#ifdef RWLE_ANALYSIS
+  static const bool analysis_init = (txsan::InitFromEnv(&runtime), true);
+  (void)analysis_init;
+#endif
   return runtime;
 }
 
@@ -48,6 +62,7 @@ void HtmRuntime::TxBegin(TxKind kind) {
   // snapshot, and all footprint bits of epoch e-1 were cleared before the
   // epoch advanced).
   ctx->status_.store(PackStatus(StatusEpoch(status), AbortCause::kNone, TxPhase::kActive));
+  RWLE_TXSAN_HOOK(*this, OnTxBegin(ctx->thread_slot_, kind));
 }
 
 void HtmRuntime::TxCommit() {
@@ -65,7 +80,21 @@ void HtmRuntime::TxCommit() {
 
   // Aggregate-store write-back: conflicting accesses observe COMMITTING and
   // wait, so the buffer publishes all-or-nothing.
+  RWLE_TXSAN_HOOK(*this, OnTxCommitting(ctx->thread_slot_));
+#ifdef RWLE_ANALYSIS
+  bool dropped_one = false;
+#endif
   for (const auto& [cell, value] : ctx->write_buffer_) {
+#ifdef RWLE_ANALYSIS
+    if (fault_injection_.drop_write_back_entry && !dropped_one) {
+      dropped_one = true;  // injected bug: aggregate commit loses a store
+      continue;
+    }
+    if (FabricObserver* obs = analysis_observer()) {
+      obs->ObservedWriteBack(ctx->thread_slot_, cell, value);
+      continue;
+    }
+#endif
     cell->store(value);
   }
 
@@ -82,6 +111,7 @@ void HtmRuntime::TxCommit() {
   ctx->read_line_indices_.clear();
   ctx->counters_.commits[static_cast<int>(ctx->kind_)]++;
   CostMeter::Global().Charge(CostModel::kTxCommit);
+  RWLE_TXSAN_HOOK(*this, OnTxCommitted(ctx->thread_slot_, ctx->kind_));
   ctx->status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
 }
 
@@ -130,6 +160,18 @@ void HtmRuntime::TxSuspend() {
     RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
   }
   ctx->escape_mode_ = true;
+#ifdef RWLE_ANALYSIS
+  if (fault_injection_.unmonitor_on_suspend) {
+    // Injected bug: suspend releases write ownership, so the suspended
+    // footprint is no longer monitored against conflicting writers.
+    const OwnerToken token = MakeOwnerToken(ctx->thread_slot_, epoch);
+    for (const std::uint32_t index : ctx->owned_line_indices_) {
+      OwnerToken mine = token;
+      table_.SlotAt(index).writer.compare_exchange_strong(mine, 0);
+    }
+  }
+#endif
+  RWLE_TXSAN_HOOK(*this, OnTxSuspend(ctx->thread_slot_));
 }
 
 void HtmRuntime::TxResume() {
@@ -142,6 +184,7 @@ void HtmRuntime::TxResume() {
   if (!ctx->status_.compare_exchange_strong(expected, active)) {
     RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
   }
+  RWLE_TXSAN_HOOK(*this, OnTxResume(ctx->thread_slot_));
 }
 
 bool HtmRuntime::InTx() {
@@ -162,6 +205,15 @@ AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
   const std::uint64_t epoch = StatusEpoch(status);
   const AbortCause cause = StatusCause(status);
 
+#ifdef RWLE_ANALYSIS
+  if (fault_injection_.write_back_on_abort) {
+    // Injected bug: the doomed transaction publishes its dead buffer.
+    for (const auto& [cell, value] : ctx.write_buffer_) {
+      cell->store(value);
+    }
+  }
+#endif
+
   // Release the write set. CAS, not store: a dead owner's line may already
   // have been reclaimed by another transaction.
   const OwnerToken token = MakeOwnerToken(ctx.thread_slot_, epoch);
@@ -177,6 +229,7 @@ AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
   ctx.read_line_indices_.clear();
   ctx.counters_.aborts[static_cast<int>(ctx.kind_)][static_cast<int>(cause)]++;
   CostMeter::Global().Charge(CostModel::kTxAbort);
+  RWLE_TXSAN_HOOK(*this, OnTxAborted(ctx.thread_slot_, ctx.kind_, cause));
   // Footprint is clear: safe to advance the epoch and go idle.
   ctx.status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
   return cause;
@@ -197,6 +250,11 @@ void HtmRuntime::AbortSelf(TxContext& ctx, AbortCause cause) {
 // --- Cross-thread dooming ---------------------------------------------------
 
 HtmRuntime::DoomOutcome HtmRuntime::TryDoomOwner(OwnerToken token, AbortCause cause) {
+#ifdef RWLE_ANALYSIS
+  if (fault_injection_.skip_requester_wins_doom) {
+    return DoomOutcome::kGone;  // injected bug: requester-wins doom skipped
+  }
+#endif
   TxContext& owner = contexts_[OwnerTokenSlot(token)];
   std::uint32_t spins = 0;
   for (;;) {
@@ -361,6 +419,7 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
 
   // Read-own-writes.
   if (const auto it = ctx.write_buffer_.find(cell); it != ctx.write_buffer_.end()) {
+    RWLE_TXSAN_HOOK(*this, OnBufferedLoad(ctx.thread_slot_, cell, it->second));
     return it->second;
   }
 
@@ -384,7 +443,12 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
     }
   }
 
-  if (ctx.kind_ == TxKind::kHtm) {
+  bool track_reads = ctx.kind_ == TxKind::kHtm;
+#ifdef RWLE_ANALYSIS
+  // Injected bug: ROT loads take read-set entries like HTM loads.
+  track_reads = track_reads || fault_injection_.rot_tracks_reads;
+#endif
+  if (track_reads) {
     if (!ConflictTable::TestReaderBit(slot, ctx.thread_slot_)) {
       if (ctx.read_line_indices_.size() >= config_.max_read_lines) {
         AbortSelf(ctx, AbortCause::kCapacityRead);  // throws
@@ -405,16 +469,18 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
   // ROT loads are untracked: no reader bit, no capacity, no re-check. A
   // writer that claims the line after our owner check goes unnoticed --
   // exactly the weaker ROT semantics the paper builds on.
-  return cell->load();
+  return FabricLoad(ctx.kind_ == TxKind::kRot ? FabricAccess::kTxRot : FabricAccess::kTxHtm,
+                    ctx.thread_slot_, cell);
 }
 
 std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* cell) {
   ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  const std::uint32_t self = ctx != nullptr ? ctx->thread_slot_ : kInvalidThreadSlot;
   std::uint32_t spins = 0;
   for (;;) {
     const OwnerToken token = slot.writer.load();
     if (token == 0) {
-      return cell->load();
+      return FabricLoad(FabricAccess::kNonTx, self, cell);
     }
     if (ctx != nullptr && token == ctx->CurrentToken()) {
       // Own suspended transaction: non-transactional loads of its own write
@@ -422,10 +488,11 @@ std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* 
       // hitting the transactional L1 lines on real hardware.
       if (ctx->InSuspendedTx()) {
         if (const auto it = ctx->write_buffer_.find(cell); it != ctx->write_buffer_.end()) {
+          RWLE_TXSAN_HOOK(*this, OnBufferedLoad(self, cell, it->second));
           return it->second;
         }
       }
-      return cell->load();
+      return FabricLoad(FabricAccess::kNonTx, self, cell);
     }
     switch (TryDoomOwner(token, AbortCause::kConflictNonTx)) {
       case DoomOutcome::kCommitting:
@@ -436,7 +503,7 @@ std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* 
       case DoomOutcome::kAlreadyDoomed:
       case DoomOutcome::kGone:
         // Speculative state discarded; backing holds the pre-tx value.
-        return cell->load();
+        return FabricLoad(FabricAccess::kNonTx, self, cell);
     }
   }
 }
@@ -487,6 +554,14 @@ void HtmRuntime::TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::
   ThrowIfDoomed(ctx);
   ClaimLineForWrite(ctx, cell);
   ctx.write_buffer_[cell] = value;
+  RWLE_TXSAN_HOOK(*this, OnSpeculativeStore(ctx.thread_slot_, cell, value));
+#ifdef RWLE_ANALYSIS
+  if (fault_injection_.leak_speculative_store) {
+    // Injected bug: the speculative store writes through to real memory,
+    // making it visible to other threads before commit.
+    cell->store(value);
+  }
+#endif
 }
 
 bool HtmRuntime::CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expected,
@@ -515,7 +590,7 @@ bool HtmRuntime::CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expecte
     }
     break;
   }
-  if (!cell->compare_exchange_strong(expected, desired)) {
+  if (!FabricCas(self, cell, expected, desired)) {
     return false;
   }
   // The store succeeded: invalidate transactional readers (subscribers).
@@ -546,7 +621,7 @@ void HtmRuntime::NonTxStore(TxContext* ctx, std::atomic<std::uint64_t>* cell,
   }
   // A store invalidates transactional read monitors on this line.
   DoomReaders(slot, self, AbortCause::kConflictNonTx);
-  cell->store(value);
+  FabricStore(FabricAccess::kNonTx, self, cell, value);
 }
 
 }  // namespace rwle

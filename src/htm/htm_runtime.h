@@ -19,9 +19,11 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/check.h"
 #include "src/common/thread_registry.h"
 #include "src/htm/abort.h"
 #include "src/htm/conflict_table.h"
+#include "src/htm/fabric_observer.h"
 #include "src/htm/htm_config.h"
 #include "src/htm/tx_context.h"
 
@@ -47,8 +49,17 @@ class HtmRuntime {
   HtmRuntime& operator=(const HtmRuntime&) = delete;
 
   const HtmConfig& config() const { return config_; }
-  // Must not be called while any transaction is in flight.
-  void set_config(const HtmConfig& config) { config_ = config; }
+  // Must not be called while any transaction is in flight (checked in debug
+  // builds: a live transaction could straddle two capacity limits).
+  void set_config(const HtmConfig& config) {
+#ifndef NDEBUG
+    for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
+      RWLE_DCHECK(!contexts_[slot].HasLiveTx() &&
+                  "set_config called while a transaction is in flight");
+    }
+#endif
+    config_ = config;
+  }
 
   // Interrupt injection (paging model). Null disables it.
   void set_interrupt_source(InterruptSource* source) { interrupt_source_ = source; }
@@ -103,6 +114,53 @@ class HtmRuntime {
 
   ConflictTable& conflict_table() { return table_; }
 
+  // --- Analysis build (txsan) support -----------------------------------
+  //
+  // The observer pointer exists in every build so src/analysis can link
+  // against an unmodified interface, but all invocation sites are inside
+  // #ifdef RWLE_ANALYSIS: production hot paths never test it.
+  void set_analysis_observer(FabricObserver* observer) {
+    analysis_observer_.store(observer, std::memory_order_release);
+  }
+  FabricObserver* analysis_observer() const {
+    return analysis_observer_.load(std::memory_order_acquire);
+  }
+
+#ifdef RWLE_ANALYSIS
+  // Test-only semantic-bug injection used by the txsan self-tests: each flag
+  // breaks one invariant of the DESIGN.md §3 contract so the self-test can
+  // assert the checker catches it. Never set outside tests.
+  struct FaultInjection {
+    bool skip_requester_wins_doom = false;  // TryDoomOwner pretends owner is gone
+    bool drop_write_back_entry = false;     // commit skips one buffered store
+    bool write_back_on_abort = false;       // doomed tx publishes its buffer
+    bool leak_speculative_store = false;    // TxStore writes through to memory
+    bool rot_tracks_reads = false;          // ROT loads take read-set entries
+    bool unmonitor_on_suspend = false;      // suspend releases write ownership
+    bool skip_quiescence = false;           // RW-LE commit skips Synchronize()
+  };
+  FaultInjection& fault_injection() { return fault_injection_; }
+
+  // Entry points for TxVar::LoadDirect/StoreDirect and construction in
+  // analysis builds, so even fabric-bypassing accesses reach the observer.
+  std::uint64_t DirectCellLoad(std::atomic<std::uint64_t>* cell) {
+    if (FabricObserver* obs = analysis_observer()) {
+      return obs->ObservedLoad(FabricAccess::kDirect, CurrentThreadSlot(), cell);
+    }
+    return cell->load(std::memory_order_relaxed);
+  }
+  void DirectCellStore(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+    if (FabricObserver* obs = analysis_observer()) {
+      obs->ObservedStore(FabricAccess::kDirect, CurrentThreadSlot(), cell, value);
+      return;
+    }
+    cell->store(value, std::memory_order_relaxed);
+  }
+  void CellInit(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+    RWLE_TXSAN_HOOK(*this, OnCellInit(cell, value));
+  }
+#endif  // RWLE_ANALYSIS
+
  private:
   enum class DoomOutcome {
     kDoomed,         // this call doomed the owner
@@ -138,6 +196,46 @@ class HtmRuntime {
   // it (and throws if the transaction is currently active).
   void MaybeInjectInterrupt(TxContext* ctx, const void* address);
 
+  // Terminal fabric accesses. In analysis builds these route through the
+  // observer (which performs the access under its own serialization); in
+  // production builds they compile to the bare atomic operation.
+  std::uint64_t FabricLoad(FabricAccess access, std::uint32_t slot,
+                           std::atomic<std::uint64_t>* cell) {
+#ifdef RWLE_ANALYSIS
+    if (FabricObserver* obs = analysis_observer()) {
+      return obs->ObservedLoad(access, slot, cell);
+    }
+#else
+    (void)access;
+    (void)slot;
+#endif
+    return cell->load();
+  }
+  void FabricStore(FabricAccess access, std::uint32_t slot,
+                   std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+#ifdef RWLE_ANALYSIS
+    if (FabricObserver* obs = analysis_observer()) {
+      obs->ObservedStore(access, slot, cell, value);
+      return;
+    }
+#else
+    (void)access;
+    (void)slot;
+#endif
+    cell->store(value);
+  }
+  bool FabricCas(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
+                 std::uint64_t expected, std::uint64_t desired) {
+#ifdef RWLE_ANALYSIS
+    if (FabricObserver* obs = analysis_observer()) {
+      return obs->ObservedCas(slot, cell, expected, desired);
+    }
+#else
+    (void)slot;
+#endif
+    return cell->compare_exchange_strong(expected, desired);
+  }
+
   // Preemption model: yields every config_.yield_access_period accesses so
   // critical sections overlap in time even on hosts with few cores.
   void MaybePreempt(TxContext* ctx);
@@ -146,6 +244,27 @@ class HtmRuntime {
   ConflictTable table_;
   TxContext contexts_[kMaxThreads];
   InterruptSource* interrupt_source_ = nullptr;
+  std::atomic<FabricObserver*> analysis_observer_{nullptr};
+#ifdef RWLE_ANALYSIS
+  FaultInjection fault_injection_;
+#endif
+};
+
+// RAII bracket for an RW-LE elided write critical section; no-op outside
+// analysis builds.
+class AnalysisElidedWriteScope {
+ public:
+  explicit AnalysisElidedWriteScope(HtmRuntime& runtime, std::uint32_t slot)
+      : runtime_(runtime), slot_(slot) {
+    RWLE_TXSAN_HOOK(runtime_, OnElidedWriteBegin(slot_));
+  }
+  ~AnalysisElidedWriteScope() { RWLE_TXSAN_HOOK(runtime_, OnElidedWriteEnd(slot_)); }
+  AnalysisElidedWriteScope(const AnalysisElidedWriteScope&) = delete;
+  AnalysisElidedWriteScope& operator=(const AnalysisElidedWriteScope&) = delete;
+
+ private:
+  [[maybe_unused]] HtmRuntime& runtime_;
+  [[maybe_unused]] std::uint32_t slot_;
 };
 
 }  // namespace rwle

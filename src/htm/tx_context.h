@@ -99,6 +99,12 @@ class TxContext {
 
   std::uint64_t StatusSnapshot() const { return status_.load(); }
 
+  // Footprint sizes, exposed read-only for the analysis build's invariant
+  // checks (e.g. "ROTs keep an empty read set"). Owner thread data; callers
+  // on other threads only get a racy hint.
+  std::size_t read_set_lines() const { return read_line_indices_.size(); }
+  std::size_t write_set_lines() const { return owned_line_indices_.size(); }
+
  private:
   friend class HtmRuntime;
 

@@ -35,7 +35,12 @@ class TxMutex {
     kElidedClaimed = 2,     // ROT write-set claim; Unlock buffers 0
   };
 
-  TxMutex() : word_(0) {}
+  TxMutex() : word_(0) {
+#ifdef RWLE_ANALYSIS
+    // Fresh fabric cell on possibly-reused memory: reset txsan's shadow.
+    HtmRuntime::Global().CellInit(&word_, 0);
+#endif
+  }
   TxMutex(const TxMutex&) = delete;
   TxMutex& operator=(const TxMutex&) = delete;
 

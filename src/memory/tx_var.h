@@ -26,8 +26,8 @@ class TxVar {
   static_assert(sizeof(T) <= sizeof(std::uint64_t), "TxVar payload must fit in 8 bytes");
 
  public:
-  TxVar() : bits_(0) {}
-  explicit TxVar(T value) : bits_(Encode(value)) {}
+  TxVar() : bits_(0) { NotifyInit(0); }
+  explicit TxVar(T value) : bits_(Encode(value)) { NotifyInit(Encode(value)); }
 
   TxVar(const TxVar&) = delete;
   TxVar& operator=(const TxVar&) = delete;
@@ -38,11 +38,28 @@ class TxVar {
   void Store(T value) { HtmRuntime::Global().CellStore(&bits_, Encode(value)); }
 
   // Direct access bypassing the fabric. Only valid while no transaction can
-  // touch this cell (single-threaded setup and post-run verification).
+  // touch this cell (single-threaded setup and post-run verification). In
+  // analysis builds these are observed so txsan can flag misuse.
+#ifdef RWLE_ANALYSIS
+  T LoadDirect() const { return Decode(HtmRuntime::Global().DirectCellLoad(&bits_)); }
+  void StoreDirect(T value) { HtmRuntime::Global().DirectCellStore(&bits_, Encode(value)); }
+#else
   T LoadDirect() const { return Decode(bits_.load(std::memory_order_relaxed)); }
   void StoreDirect(T value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+#endif
 
  private:
+  // Construction resets any analysis shadow state left by a previous
+  // occupant of this address (arenas placement-new TxVars over reused
+  // memory). No-op outside analysis builds.
+  void NotifyInit(std::uint64_t bits) {
+#ifdef RWLE_ANALYSIS
+    HtmRuntime::Global().CellInit(&bits_, bits);
+#else
+    (void)bits;
+#endif
+  }
+
   static std::uint64_t Encode(T value) {
     std::uint64_t bits = 0;
     std::memcpy(&bits, &value, sizeof(T));

@@ -16,6 +16,7 @@
 
 #include "src/common/cpu.h"
 #include "src/common/thread_registry.h"
+#include "src/htm/htm_runtime.h"
 #include "src/stats/cost_meter.h"
 
 namespace rwle {
@@ -25,13 +26,20 @@ class EpochClocks {
   // Enter/exit a read critical section. seq_cst gives the MEM_FENCE of
   // Algorithm 1 line 13: writers are guaranteed to see the reader before
   // the reader's first data access.
+  //
+  // Analysis hook placement is deliberately asymmetric so txsan's view of
+  // the read window is a subset of the real window (enter notified after
+  // the clock goes odd, exit notified before it goes even): the quiescence
+  // drain check then never reports a false positive.
   void Enter(std::uint32_t thread_slot) {
     CostMeter::Global().Charge(CostModel::kAccess);  // per-thread line: uncontended
     clocks_[thread_slot].value.fetch_add(1, std::memory_order_seq_cst);
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderEnter(thread_slot, this));
   }
 
   void Exit(std::uint32_t thread_slot) {
     CostMeter::Global().Charge(CostModel::kAccess);
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderExit(thread_slot, this));
     clocks_[thread_slot].value.fetch_add(1, std::memory_order_seq_cst);
   }
 
@@ -45,6 +53,7 @@ class EpochClocks {
   // wait for every odd one to move past the snapshot. New readers may keep
   // entering; conflicts with them are caught by the HTM fabric instead.
   void Synchronize() const {
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(CurrentThreadSlot(), this));
     const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
     CostMeter::Global().Charge(2 * CostModel::kClockScanPerThread * n);
     std::uint64_t snapshot[kMaxThreads];
@@ -60,12 +69,14 @@ class EpochClocks {
         SpinBackoff(spins++);
       }
     }
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceEnd(CurrentThreadSlot(), this));
   }
 
   // Single-traversal variant (paper §3.3, first optimization): valid only
   // when new readers are blocked (the caller holds the lock in NS mode), so
   // an odd clock can only transition to "out of critical section".
   void SynchronizeBlockedReaders() const {
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(CurrentThreadSlot(), this));
     const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
     CostMeter::Global().Charge(CostModel::kClockScanPerThread * n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -78,6 +89,7 @@ class EpochClocks {
         SpinBackoff(spins++);
       }
     }
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceEnd(CurrentThreadSlot(), this));
   }
 
  private:

@@ -33,7 +33,13 @@ constexpr std::uint64_t MakeLockWord(std::uint64_t version, LockState state) {
 
 class LockWord {
  public:
-  LockWord() : cell_(MakeLockWord(0, LockState::kFree)) {}
+  LockWord() : cell_(MakeLockWord(0, LockState::kFree)) {
+#ifdef RWLE_ANALYSIS
+    // Fresh fabric cell (this address may be reused stack/arena memory):
+    // reset txsan's shadow state for it.
+    HtmRuntime::Global().CellInit(&cell_, MakeLockWord(0, LockState::kFree));
+#endif
+  }
 
   // Coherent load through the fabric. Inside a transaction this subscribes
   // the caller to the lock; outside it is a plain load.

@@ -48,6 +48,7 @@ class RwLeBasicLock {
   void Write(Fn&& fn) {
     RWLE_CHECK(CurrentThreadSlot() != kInvalidThreadSlot);
     HtmRuntime& runtime = HtmRuntime::Global();
+    const AnalysisElidedWriteScope txsan_scope(runtime, CurrentThreadSlot());
     for (;;) {
       AcquireWriterLock();
       try {

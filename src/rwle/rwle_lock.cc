@@ -100,7 +100,12 @@ void RwLeLock::HtmEpilogue() {
   runtime.TxSuspend();
   // While suspended: our speculative stores stay hidden and monitored; the
   // clock scan below runs non-transactionally (escape actions).
-  clocks_.Synchronize();
+#ifdef RWLE_ANALYSIS
+  if (!runtime.fault_injection().skip_quiescence)
+#endif
+  {
+    clocks_.Synchronize();
+  }
   runtime.TxResume();
   if (policy_.split_rot_ns_locks) {
     // Lazy subscription of the ROT lock (§3.3): committing while a ROT
@@ -115,7 +120,12 @@ void RwLeLock::HtmEpilogue() {
 }
 
 void RwLeLock::RotEpilogue() {
-  clocks_.Synchronize();
+#ifdef RWLE_ANALYSIS
+  if (!HtmRuntime::Global().fault_injection().skip_quiescence)
+#endif
+  {
+    clocks_.Synchronize();
+  }
   HtmRuntime::Global().TxCommit();
 }
 

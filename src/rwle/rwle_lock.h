@@ -118,6 +118,9 @@ class RwLeLock {
     }
     const NestingScope write_scope(&nesting.write_depth);
     HtmRuntime& runtime = HtmRuntime::Global();
+    // Analysis builds: bracket the (outermost) elided write section so txsan
+    // can require a quiescence scan before any commit inside it.
+    const AnalysisElidedWriteScope txsan_scope(runtime, slot);
     RwLePolicy effective = policy_;
     if (policy_.adaptive) {
       const AdaptiveTuner::Budgets budgets = tuner_.Current();
