@@ -1,87 +1,8 @@
-// Ablation bench for RW-LE's design knobs (DESIGN.md E9):
-//   (a) single-scan vs snapshot+wait quiescence on the NS path (§3.3),
-//   (b) the speculative retry budget (the paper settled on 5 after a sweep),
-//   (c) ROT fallback on vs off.
-// Workload: the high-capacity/high-contention hashmap, the configuration
-// where fallback paths are exercised the most.
-#include <cstdio>
-#include <memory>
+// Compatibility shim: the §3.3 design-knob ablations now live in the
+// scenario registry (bench/scenarios/ablation.cc). This binary is
+// `rwle_bench --scenario=ablation` with the old name, so existing scripts
+// keep working. Note the case labels became comma-free scheme names (e.g.
+// "retries-5" instead of "retries=5") so --schemes can filter them.
+#include "bench/scenarios/driver.h"
 
-#include "bench/bench_common.h"
-#include "src/locks/elidable_lock.h"
-#include "src/rwle/rwle_lock.h"
-#include "src/workloads/hashmap/hashmap_workload.h"
-
-namespace rwle {
-namespace {
-
-struct AblationCase {
-  const char* name;
-  RwLePolicy policy;
-};
-
-std::vector<AblationCase> Cases() {
-  std::vector<AblationCase> cases;
-  RwLePolicy base;
-
-  cases.push_back({"default(htm5,rot5,1scan)", base});
-
-  RwLePolicy two_scan = base;
-  two_scan.single_scan_ns_sync = false;
-  cases.push_back({"two-scan-ns-sync", two_scan});
-
-  for (const std::uint32_t retries : {0u, 1u, 10u}) {
-    RwLePolicy policy = base;
-    policy.max_htm_retries = retries;
-    policy.max_rot_retries = retries == 0 ? 5 : retries;
-    char name[64];
-    std::snprintf(name, sizeof(name), "retries=%u", retries);
-    cases.push_back({strdup(name), policy});
-  }
-
-  RwLePolicy no_rot = base;
-  no_rot.use_rot = false;
-  cases.push_back({"no-rot", no_rot});
-
-  RwLePolicy split = base;
-  split.split_rot_ns_locks = true;
-  cases.push_back({"split-rot-ns-locks", split});
-  return cases;
-}
-
-}  // namespace
-}  // namespace rwle
-
-int main(int argc, char** argv) {
-  rwle::BenchOptions options;
-  if (!rwle::ParseBenchFlags(argc, argv, "Ablation: RW-LE design knobs",
-                             /*default_ops=*/20000, /*full_ops=*/200000, &options)) {
-    return 1;
-  }
-  const std::vector<double> write_ratios = {0.10};
-
-  rwle::FigureReport report("Ablation: RW-LE optimizations (hashmap l=1, 200/bucket)",
-                            "% write locks");
-  for (const auto& ablation : rwle::Cases()) {
-    rwle::LockAdapter<rwle::RwLeLock> lock(ablation.policy);
-    auto workload = std::make_unique<rwle::HashMapWorkload>(
-        rwle::HashMapScenario::HighCapacityHighContention());
-    for (const double ratio : write_ratios) {
-      for (const std::uint32_t threads : options.thread_counts) {
-        rwle::RunOptions run;
-        run.threads = threads;
-        run.total_ops = options.total_ops;
-        run.write_ratio = ratio;
-        run.seed = options.seed + threads;
-        const rwle::RunResult result = rwle::RunBenchmark(
-            run, lock.stats(), [&](std::uint32_t, rwle::Rng& rng, bool is_write) {
-              workload->Op(lock, rng, is_write);
-            });
-        report.Add(ablation.name, ratio * 100.0, result);
-      }
-    }
-  }
-
-  std::printf("%s", report.Render(options.csv).c_str());
-  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "ablation"); }

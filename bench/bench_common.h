@@ -1,6 +1,8 @@
-// Shared driver for the figure benchmarks: flag parsing, scheme/thread
-// sweeps, per-figure report assembly. Each fig*.cc binary supplies a
-// workload factory and the figure's panel values; this file does the rest.
+// Shared pieces of the benchmark stack: the resolved run options every
+// scenario receives, the (panel x scheme x thread-count) grid runner, and
+// the txsan analysis hooks. Flag parsing and scenario selection live in
+// bench/scenarios/driver.cc; the scenario definitions themselves live in
+// bench/scenarios/.
 #ifndef RWLE_BENCH_BENCH_COMMON_H_
 #define RWLE_BENCH_BENCH_COMMON_H_
 
@@ -11,10 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "src/common/flags.h"
-#include "src/common/strings.h"
 #include "src/harness/bench_harness.h"
-#include "src/harness/figure_report.h"
+#include "src/harness/result_sink.h"
 #include "src/locks/lock_factory.h"
 
 #ifdef RWLE_ANALYSIS
@@ -24,74 +24,38 @@
 
 namespace rwle {
 
+// Options after the driver has resolved flags and scenario defaults:
+// total_ops is always concrete here (the driver substitutes the scenario's
+// default/full sweep size when --ops is not given).
 struct BenchOptions {
   std::vector<std::uint32_t> thread_counts;
   std::uint64_t total_ops = 0;
   std::vector<std::string> schemes;
   std::uint64_t seed = 42;
   bool csv = false;
-  bool analysis = false;
-};
-
-// Parses the common benchmark flags. Defaults are sized for a quick run on
-// a small host; --full selects the paper-scale sweep (more threads, more
-// operations). Returns false if the binary should exit (bad flags/--help).
-inline bool ParseBenchFlags(int argc, char** argv, const std::string& description,
-                            std::uint64_t default_ops, std::uint64_t full_ops,
-                            BenchOptions* out) {
-  std::string threads = "1,2,4,8,16,32";
-  std::string full_threads = "1,2,4,8,16,32,64,80";
-  std::string schemes;
-  std::uint64_t ops = 0;
-  std::uint64_t seed = 42;
-  bool csv = false;
   bool full = false;
   bool analysis = false;
+  bool progress = false;
+};
 
-  FlagSet flags(description);
-  flags.AddString("threads", &threads, "comma-separated thread counts");
-  flags.AddUint("ops", &ops, "total operations per run (0 = default)");
-  flags.AddString("schemes", &schemes,
-                  "comma-separated scheme names (default: the figure's set)");
-  flags.AddUint("seed", &seed, "base RNG seed");
-  flags.AddBool("csv", &csv, "emit CSV instead of ASCII tables");
-  flags.AddBool("full", &full, "paper-scale sweep (more threads and ops)");
-  flags.AddBool("analysis", &analysis,
-                "run under the txsan oracle and print its summary "
-                "(requires an RWLE_ANALYSIS build)");
-  if (!flags.Parse(argc, argv)) {
-    return false;
-  }
-
-  if (analysis) {
+// Turns on the txsan oracle for a --analysis run. Returns false (with a
+// message) when this is not an RWLE_ANALYSIS build.
+inline bool EnableAnalysis() {
 #ifdef RWLE_ANALYSIS
-    txsan::TxSan::Options txsan_options;
-    txsan_options.abort_on_violation = false;  // summarize at exit instead
-    txsan::TxSan::Global().Enable(txsan_options, &HtmRuntime::Global());
-#else
-    std::fprintf(stderr,
-                 "--analysis requires a build configured with "
-                 "-DRWLE_ANALYSIS=ON\n");
-    return false;
-#endif
-  }
-
-  bool threads_ok = false;
-  out->thread_counts = ParseUintList(full ? full_threads : threads, &threads_ok);
-  if (!threads_ok || out->thread_counts.empty()) {
-    std::fprintf(stderr, "bad --threads list\n%s", flags.Usage().c_str());
-    return false;
-  }
-  out->schemes = SplitCommaList(schemes);
-  out->total_ops = ops != 0 ? ops : (full ? full_ops : default_ops);
-  out->seed = seed;
-  out->csv = csv;
-  out->analysis = analysis;
+  txsan::TxSan::Options txsan_options;
+  txsan_options.abort_on_violation = false;  // summarize at exit instead
+  txsan::TxSan::Global().Enable(txsan_options, &HtmRuntime::Global());
   return true;
+#else
+  std::fprintf(stderr,
+               "--analysis requires a build configured with "
+               "-DRWLE_ANALYSIS=ON\n");
+  return false;
+#endif
 }
 
 // Prints the txsan verdict after a --analysis run; no-op otherwise. Returns
-// the number of violations (the bench main can turn it into an exit code).
+// the number of violations (the bench main turns it into an exit code).
 inline std::uint64_t FinishAnalysis(const BenchOptions& options) {
   if (!options.analysis) {
     return 0;
@@ -104,13 +68,24 @@ inline std::uint64_t FinishAnalysis(const BenchOptions& options) {
 #endif
 }
 
-// Runs the (scheme x write-ratio x thread-count) grid for one figure.
-// `make_workload` builds a fresh workload; `op` executes one operation on
-// it. The workload is rebuilt per (scheme, ratio) so every scheme starts
-// from an identical state.
+// Runs the (write-ratio x scheme x thread-count) grid for one scenario,
+// feeding every RunResult to `sink` (tables, JSON archive and progress all
+// observe the same runs -- see result_sink.h).
+//
+// Workload state: `make_workload` builds a fresh workload for every
+// (ratio, scheme, thread-count) cell, so no run starts from state mutated
+// by a previous one. (Earlier revisions rebuilt only per (scheme, ratio)
+// and swept thread counts over one instance, so the 32-thread run of a
+// scheme started from whatever the 16-thread run left behind.)
+//
+// Seeding: a cell runs with seed `options.seed + threads`. Different
+// thread counts therefore draw different op sequences -- intentionally, so
+// a sweep is not N replays of one schedule -- while the same cell is
+// reproducible across schemes, processes and hosts (RunBenchmark derives
+// the per-thread streams deterministically from this value).
 template <typename Workload>
 void RunFigureGrid(
-    const BenchOptions& options, FigureReport* report,
+    const BenchOptions& options, ResultSink* sink,
     const std::vector<double>& write_ratios, const std::vector<std::string>& schemes,
     const std::function<std::unique_ptr<Workload>()>& make_workload,
     const std::function<void(Workload&, ElidableLock&, Rng&, bool)>& op) {
@@ -121,8 +96,8 @@ void RunFigureGrid(
         std::fprintf(stderr, "unknown scheme: %s\n", scheme.c_str());
         continue;
       }
-      auto workload = make_workload();
       for (const std::uint32_t threads : options.thread_counts) {
+        auto workload = make_workload();
         RunOptions run;
         run.threads = threads;
         run.total_ops = options.total_ops;
@@ -132,7 +107,7 @@ void RunFigureGrid(
             run, lock->stats(), [&](std::uint32_t, Rng& rng, bool is_write) {
               op(*workload, *lock, rng, is_write);
             });
-        report->Add(scheme, ratio * 100.0, result);
+        sink->Add(scheme, ratio * 100.0, result);
       }
     }
   }

@@ -1,32 +1,6 @@
-// Figure 10: TPC-C with 1% / 10% / 50% update transactions. Expected shape:
-// in read-dominated panels RW-LE beats BRLock (best baseline) by several x
-// and HLE by an order of magnitude (stock-level overflows read capacity);
-// the 50%-write panel scales for nobody, but RW-LE stays ~25% ahead of HLE
-// thanks to ROTs.
-#include <cstdio>
-#include <memory>
+// Compatibility shim: Figure 10 now lives in the scenario registry
+// (bench/scenarios/fig10.cc). This binary is `rwle_bench --scenario=fig10`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-#include "bench/bench_common.h"
-#include "src/workloads/tpcc/tpcc.h"
-
-int main(int argc, char** argv) {
-  rwle::BenchOptions options;
-  if (!rwle::ParseBenchFlags(argc, argv, "Figure 10: TPC-C",
-                             /*default_ops=*/8000, /*full_ops=*/80000, &options)) {
-    return 1;
-  }
-  const std::vector<std::string> schemes =
-      options.schemes.empty() ? rwle::AllLockNames() : options.schemes;
-  const std::vector<double> write_ratios = {0.01, 0.10, 0.50};
-
-  rwle::FigureReport report("Figure 10: TPC-C (in-memory, RW-lock port)",
-                            "% update transactions");
-  rwle::RunFigureGrid<rwle::TpccWorkload>(
-      options, &report, write_ratios, schemes,
-      [] { return std::make_unique<rwle::TpccWorkload>(); },
-      [](rwle::TpccWorkload& workload, rwle::ElidableLock& lock, rwle::Rng& rng,
-         bool is_write) { workload.Op(lock, rng, is_write); });
-
-  std::printf("%s", report.Render(options.csv).c_str());
-  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig10"); }

@@ -1,12 +1,6 @@
-// Figure 3: high capacity pressure (200 items/bucket), high contention
-// (single bucket). Expected shape: RW-LE variants dominate in the
-// read-dominated panels (HLE collapses to the serial path on capacity);
-// in the 90%-write panel RW-LE_PES stays competitive via ROTs.
-#include "bench/sensitivity_common.h"
+// Compatibility shim: Figure 3 now lives in the scenario registry
+// (bench/scenarios/fig3.cc). This binary is `rwle_bench --scenario=fig3`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-int main(int argc, char** argv) {
-  return rwle::SensitivityMain(argc, argv,
-                               "Figure 3: high capacity, high contention (hashmap l=1, 200/bucket)",
-                               rwle::HashMapScenario::HighCapacityHighContention(),
-                               /*enable_paging=*/false);
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig3"); }

@@ -1,11 +1,6 @@
-// Figure 4: high capacity pressure, low contention (many buckets).
-// Expected shape: RW-LE wins read-dominated panels; RW-LE_PES pays a
-// serialization toll vs RW-LE_OPT (writers rarely conflict here).
-#include "bench/sensitivity_common.h"
+// Compatibility shim: Figure 4 now lives in the scenario registry
+// (bench/scenarios/fig4.cc). This binary is `rwle_bench --scenario=fig4`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-int main(int argc, char** argv) {
-  return rwle::SensitivityMain(argc, argv,
-                               "Figure 4: high capacity, low contention (hashmap l=1024, 200/bucket)",
-                               rwle::HashMapScenario::HighCapacityLowContention(),
-                               /*enable_paging=*/false);
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig4"); }

@@ -1,12 +1,6 @@
-// Figure 5: low capacity pressure (50 items), high contention (single
-// bucket). Expected shape: HLE commits mostly in HTM but conflicts burn its
-// retry budget at high thread counts; RW-LE falls back to ROTs, which
-// serialize writers yet keep readers running.
-#include "bench/sensitivity_common.h"
+// Compatibility shim: Figure 5 now lives in the scenario registry
+// (bench/scenarios/fig5.cc). This binary is `rwle_bench --scenario=fig5`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-int main(int argc, char** argv) {
-  return rwle::SensitivityMain(argc, argv,
-                               "Figure 5: low capacity, high contention (hashmap l=1, 50/bucket)",
-                               rwle::HashMapScenario::LowCapacityHighContention(),
-                               /*enable_paging=*/false);
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig5"); }

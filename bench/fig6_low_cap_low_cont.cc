@@ -1,14 +1,6 @@
-// Figure 6: low capacity pressure, low contention, with the VM/paging
-// interrupt model active (sparse accesses over many buckets keep faulting).
-// Expected shape: HLE shows almost no capacity aborts but a spiking rate of
-// "HTM non-tx" (interrupt) aborts; RW-LE readers are immune because they
-// never speculate, giving up to order-of-magnitude gains; RW-LE_PES pays
-// ~2x vs RW-LE_OPT for serializing writers in this low-conflict setting.
-#include "bench/sensitivity_common.h"
+// Compatibility shim: Figure 6 now lives in the scenario registry
+// (bench/scenarios/fig6.cc). This binary is `rwle_bench --scenario=fig6`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-int main(int argc, char** argv) {
-  return rwle::SensitivityMain(argc, argv,
-                               "Figure 6: low capacity, low contention + paging (hashmap l=4096, 50/bucket)",
-                               rwle::HashMapScenario::LowCapacityLowContention(),
-                               /*enable_paging=*/true);
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig6"); }

@@ -1,36 +1,6 @@
-// Figure 7: fairness stress. RW-LE with the ROT fallback disabled (so the
-// non-speculative path -- the source of reader starvation -- is exercised
-// often) versus the FAIR variant, on the high-capacity/high-contention
-// hashmap. Expected shape: the fair variant wins at high thread counts and
-// low write ratios (where reader starvation bites) and is otherwise a wash.
-#include <cstdio>
-#include <memory>
+// Compatibility shim: Figure 7 now lives in the scenario registry
+// (bench/scenarios/fig7.cc). This binary is `rwle_bench --scenario=fig7`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-#include "bench/bench_common.h"
-#include "src/workloads/hashmap/hashmap_workload.h"
-
-int main(int argc, char** argv) {
-  rwle::BenchOptions options;
-  if (!rwle::ParseBenchFlags(argc, argv,
-                             "Figure 7: fairness stress (RW-LE w/o ROT vs RW-LE_FAIR)",
-                             /*default_ops=*/20000, /*full_ops=*/200000, &options)) {
-    return 1;
-  }
-  const std::vector<std::string> schemes =
-      options.schemes.empty() ? std::vector<std::string>{"rwle-norot", "rwle-fair"}
-                              : options.schemes;
-  const std::vector<double> write_ratios = {0.10, 0.50, 0.90};
-
-  rwle::FigureReport report("Figure 7: fairness stress scenario", "% write locks");
-  rwle::RunFigureGrid<rwle::HashMapWorkload>(
-      options, &report, write_ratios, schemes,
-      [] {
-        return std::make_unique<rwle::HashMapWorkload>(
-            rwle::HashMapScenario::HighCapacityHighContention());
-      },
-      [](rwle::HashMapWorkload& workload, rwle::ElidableLock& lock, rwle::Rng& rng,
-         bool is_write) { workload.Op(lock, rng, is_write); });
-
-  std::printf("%s", report.Render(options.csv).c_str());
-  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig7"); }

@@ -1,31 +1,6 @@
-// Figure 8: STMBench7-lite with 10/50/90% update operations. Expected
-// shape: both RW-LE variants beat RWL (the best baseline) by ~2x and HLE by
-// up to an order of magnitude -- STMBench7's large critical sections make
-// HLE capacity-abort into the serial path almost always.
-#include <cstdio>
-#include <memory>
+// Compatibility shim: Figure 8 now lives in the scenario registry
+// (bench/scenarios/fig8.cc). This binary is `rwle_bench --scenario=fig8`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-#include "bench/bench_common.h"
-#include "src/workloads/stmbench7/stmbench7.h"
-
-int main(int argc, char** argv) {
-  rwle::BenchOptions options;
-  if (!rwle::ParseBenchFlags(argc, argv, "Figure 8: STMBench7",
-                             /*default_ops=*/8000, /*full_ops=*/80000, &options)) {
-    return 1;
-  }
-  const std::vector<std::string> schemes =
-      options.schemes.empty() ? rwle::AllLockNames() : options.schemes;
-  const std::vector<double> write_ratios = {0.10, 0.50, 0.90};
-
-  rwle::FigureReport report("Figure 8: STMBench7 (medium database, default mix)",
-                            "% write operations");
-  rwle::RunFigureGrid<rwle::Stmbench7Workload>(
-      options, &report, write_ratios, schemes,
-      [] { return std::make_unique<rwle::Stmbench7Workload>(); },
-      [](rwle::Stmbench7Workload& workload, rwle::ElidableLock& lock, rwle::Rng& rng,
-         bool is_write) { workload.Op(lock, rng, is_write); });
-
-  std::printf("%s", report.Render(options.csv).c_str());
-  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig8"); }

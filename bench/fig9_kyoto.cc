@@ -1,32 +1,6 @@
-// Figure 9: Kyoto Cabinet CacheDB (wicked benchmark) with <1% / 5% / 10%
-// outer-write-lock acquisition rates. Expected shape: RW-LE scales with the
-// record traffic until the (non-elided) inner slot mutexes saturate;
-// BRLock stops scaling earlier (writers sweep all private mutexes); RW-LE
-// keeps a ~2x edge even in the 10% panel.
-#include <cstdio>
-#include <memory>
+// Compatibility shim: Figure 9 now lives in the scenario registry
+// (bench/scenarios/fig9.cc). This binary is `rwle_bench --scenario=fig9`
+// with the old name, so existing scripts keep working.
+#include "bench/scenarios/driver.h"
 
-#include "bench/bench_common.h"
-#include "src/workloads/kyoto/cache_db.h"
-
-int main(int argc, char** argv) {
-  rwle::BenchOptions options;
-  if (!rwle::ParseBenchFlags(argc, argv, "Figure 9: Kyoto Cabinet CacheDB (wicked)",
-                             /*default_ops=*/8000, /*full_ops=*/80000, &options)) {
-    return 1;
-  }
-  const std::vector<std::string> schemes =
-      options.schemes.empty() ? rwle::AllLockNames() : options.schemes;
-  const std::vector<double> write_ratios = {0.001, 0.05, 0.10};
-
-  rwle::FigureReport report("Figure 9: KyotoCacheDB wicked benchmark",
-                            "% outer write locks");
-  rwle::RunFigureGrid<rwle::KyotoWorkload>(
-      options, &report, write_ratios, schemes,
-      [] { return std::make_unique<rwle::KyotoWorkload>(); },
-      [](rwle::KyotoWorkload& workload, rwle::ElidableLock& lock, rwle::Rng& rng,
-         bool is_write) { workload.Op(lock, rng, is_write); });
-
-  std::printf("%s", report.Render(options.csv).c_str());
-  return rwle::FinishAnalysis(options) == 0 ? 0 : 2;
-}
+int main(int argc, char** argv) { return rwle::BenchMain(argc, argv, "fig9"); }

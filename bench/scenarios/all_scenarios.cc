@@ -1,0 +1,22 @@
+#include "bench/scenarios/all_scenarios.h"
+
+namespace rwle {
+
+void RegisterAllScenarios() {
+  static const bool registered = [] {
+    ScenarioRegistry& registry = ScenarioRegistry::Global();
+    registry.Register(Fig3Scenario());
+    registry.Register(Fig4Scenario());
+    registry.Register(Fig5Scenario());
+    registry.Register(Fig6Scenario());
+    registry.Register(Fig7Scenario());
+    registry.Register(Fig8Scenario());
+    registry.Register(Fig9Scenario());
+    registry.Register(Fig10Scenario());
+    registry.Register(AblationScenario());
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace rwle

@@ -1,0 +1,26 @@
+// One constructor per registered scenario (each defined in its own .cc in
+// this directory) plus the aggregate registrar the driver and tests call.
+#ifndef RWLE_BENCH_SCENARIOS_ALL_SCENARIOS_H_
+#define RWLE_BENCH_SCENARIOS_ALL_SCENARIOS_H_
+
+#include "bench/scenarios/scenario.h"
+
+namespace rwle {
+
+ScenarioSpec Fig3Scenario();      // hashmap: high capacity, high contention
+ScenarioSpec Fig4Scenario();      // hashmap: high capacity, low contention
+ScenarioSpec Fig5Scenario();      // hashmap: low capacity, high contention
+ScenarioSpec Fig6Scenario();      // hashmap: low cap, low cont + paging model
+ScenarioSpec Fig7Scenario();      // fairness stress (rwle-norot vs rwle-fair)
+ScenarioSpec Fig8Scenario();      // STMBench7-lite
+ScenarioSpec Fig9Scenario();      // Kyoto Cabinet CacheDB (wicked)
+ScenarioSpec Fig10Scenario();     // TPC-C-lite
+ScenarioSpec AblationScenario();  // §3.3 design-knob ablations
+
+// Registers every scenario above in ScenarioRegistry::Global(), in paper
+// order. Idempotent: safe to call from multiple entry points.
+void RegisterAllScenarios();
+
+}  // namespace rwle
+
+#endif  // RWLE_BENCH_SCENARIOS_ALL_SCENARIOS_H_

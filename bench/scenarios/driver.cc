@@ -1,0 +1,291 @@
+#include "bench/scenarios/driver.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/scenarios/all_scenarios.h"
+#include "bench/scenarios/scenario.h"
+#include "src/common/check.h"
+#include "src/common/flags.h"
+#include "src/common/strings.h"
+#include "src/harness/figure_report.h"
+#include "src/harness/result_serializer.h"
+#include "src/harness/result_sink.h"
+#include "src/htm/htm_runtime.h"
+#include "src/memory/paging_model.h"
+
+namespace rwle {
+namespace {
+
+void PrintScenarioList() {
+  std::printf("Registered scenarios (run with --scenario=NAME[,NAME...] or --all):\n\n");
+  for (const ScenarioSpec& spec : ScenarioRegistry::Global().All()) {
+    std::printf("  %-10s %s\n", spec.name.c_str(), spec.title.c_str());
+    std::string panels;
+    for (const double value : spec.panel_values) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", value * 100.0);
+      panels += panels.empty() ? buf : std::string(" ") + buf;
+    }
+    std::printf("  %-10s panels: %s (%s); ops: %llu default / %llu --full%s\n", "",
+                panels.c_str(), spec.panel_label.c_str(),
+                static_cast<unsigned long long>(spec.default_ops),
+                static_cast<unsigned long long>(spec.full_ops),
+                spec.enable_paging ? "; paging model on" : "");
+    if (!spec.default_schemes.empty()) {
+      std::string schemes;
+      for (const auto& scheme : spec.default_schemes) {
+        schemes += schemes.empty() ? scheme : "," + scheme;
+      }
+      std::printf("  %-10s schemes: %s\n", "", schemes.c_str());
+    }
+  }
+  std::printf("\nScenarios without a scheme list sweep the default set: ");
+  for (const auto& name : AllLockNames()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintSchemeList() {
+  std::printf("Schemes accepted by --schemes (from the lock factory):\n\n");
+  for (const SchemeInfo& scheme : AllSchemes()) {
+    std::printf("  %-14s %s\n", scheme.name, scheme.description);
+  }
+  std::printf("\nDefault sweep set (paper plot order): ");
+  for (const auto& name : AllLockNames()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n");
+}
+
+// Builds the manifest describing one scenario run (serialized alongside the
+// results; see result_serializer.h).
+RunManifest BuildManifest(const ScenarioSpec& spec, const BenchOptions& options,
+                          const std::vector<std::string>& schemes) {
+  RunManifest manifest;
+  manifest.scenario = spec.name;
+  manifest.figure = spec.figure;
+  manifest.title = spec.title;
+  manifest.panel_label = spec.panel_label;
+  manifest.schemes = schemes;
+  manifest.thread_counts = options.thread_counts;
+  manifest.total_ops = options.total_ops;
+  manifest.seed = options.seed;
+  manifest.full_sweep = options.full;
+  manifest.htm_config = HtmRuntime::Global().config();
+  manifest.git_sha = BuildGitSha();
+  manifest.created_unix = NowUnixSeconds();
+  return manifest;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv, const char* forced_scenario) {
+  RegisterAllScenarios();
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+
+  const std::string default_threads = "1,2,4,8,16,32";
+  const std::string full_threads = "1,2,4,8,16,32,64,80";
+  std::string threads = default_threads;
+  std::uint64_t ops = 0;
+  std::string schemes_flag;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool full = false;
+  bool analysis = false;
+  bool progress = false;
+  std::string scenario_flag;
+  bool run_all = false;
+  std::string json_path;
+  std::string json_dir;
+  bool list_scenarios = false;
+  bool list_schemes = false;
+  std::vector<std::string> positional;
+
+  std::string description;
+  const ScenarioSpec* forced = nullptr;
+  if (forced_scenario != nullptr) {
+    forced = registry.Find(forced_scenario);
+    RWLE_CHECK(forced != nullptr);
+    description = forced->title + "\n(compatibility shim for `rwle_bench --scenario=" +
+                  forced->name + "`)";
+  } else {
+    description =
+        "rwle_bench: unified driver for every evaluation scenario.\n"
+        "Pick work with --scenario=fig3[,fig5,...], positional names, or --all;\n"
+        "discover it with --list-scenarios / --list-schemes.";
+  }
+
+  FlagSet flags(description);
+  flags.AddString("threads", &threads, "comma-separated thread counts");
+  flags.AddUint("ops", &ops, "total operations per run (0 = scenario default)");
+  flags.AddString("schemes", &schemes_flag,
+                  "comma-separated scheme names (default: the scenario's set)");
+  flags.AddUint("seed", &seed, "base RNG seed (each run uses seed + threads)");
+  flags.AddBool("csv", &csv, "emit CSV instead of ASCII tables");
+  flags.AddBool("full", &full, "paper-scale sweep (more threads and ops)");
+  flags.AddBool("analysis", &analysis,
+                "run under the txsan oracle and print its summary "
+                "(requires an RWLE_ANALYSIS build)");
+  flags.AddBool("progress", &progress,
+                "stream one line per completed run to stderr");
+  flags.AddString("json", &json_path,
+                  "write all selected scenarios as one JSON document to this file");
+  flags.AddString("json-dir", &json_dir,
+                  "write one JSON document per scenario to DIR/<scenario>.json");
+  flags.AddBool("list-scenarios", &list_scenarios,
+                "print the scenario registry and exit");
+  flags.AddBool("list-schemes", &list_schemes,
+                "print every scheme the lock factory can build and exit");
+  if (forced == nullptr) {
+    flags.AddString("scenario", &scenario_flag,
+                    "comma-separated scenario names to run (see --list-scenarios)");
+    flags.AddBool("all", &run_all, "run every registered scenario");
+    flags.AllowPositional(&positional, "scenario names (same as --scenario)");
+  }
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  if (list_scenarios) {
+    PrintScenarioList();
+    return 0;
+  }
+  if (list_schemes) {
+    PrintSchemeList();
+    return 0;
+  }
+
+  BenchOptions options;
+  // --full upgrades the thread sweep unless the user pinned --threads.
+  bool threads_ok = false;
+  options.thread_counts =
+      ParseUintList(full && threads == default_threads ? full_threads : threads,
+                    &threads_ok);
+  if (!threads_ok || options.thread_counts.empty()) {
+    std::fprintf(stderr, "bad --threads list\n%s", flags.Usage().c_str());
+    return 1;
+  }
+  options.total_ops = ops;  // resolved per scenario below
+  options.schemes = SplitCommaList(schemes_flag);
+  options.seed = seed;
+  options.csv = csv;
+  options.full = full;
+  options.analysis = analysis;
+  options.progress = progress;
+  if (analysis && !EnableAnalysis()) {
+    return 1;
+  }
+
+  std::vector<std::string> selected;
+  if (forced != nullptr) {
+    selected.push_back(forced->name);
+  } else if (run_all) {
+    selected = registry.Names();
+  } else {
+    for (const auto& name : SplitCommaList(scenario_flag)) {
+      selected.push_back(name);
+    }
+    for (const auto& name : positional) {
+      selected.push_back(name);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario selected\n\n");
+    PrintScenarioList();
+    return 1;
+  }
+  for (const auto& name : selected) {
+    if (registry.Find(name) == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s (try --list-scenarios)\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+
+  const bool want_json = !json_path.empty() || !json_dir.empty();
+  if (!json_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(json_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --json-dir %s: %s\n", json_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+
+  bool io_ok = true;
+  std::vector<std::unique_ptr<JsonResultSink>> archives;
+  for (const auto& name : selected) {
+    const ScenarioSpec& spec = *registry.Find(name);
+
+    BenchOptions run_options = options;
+    run_options.total_ops =
+        ops != 0 ? ops : (full ? spec.full_ops : spec.default_ops);
+    const std::vector<std::string> schemes =
+        !options.schemes.empty()
+            ? options.schemes
+            : (!spec.default_schemes.empty() ? spec.default_schemes : AllLockNames());
+
+    FigureReport report(spec.title, spec.panel_label);
+    TeeSink tee;
+    tee.AddSink(&report);
+    std::unique_ptr<JsonResultSink> archive;
+    if (want_json) {
+      archive = std::make_unique<JsonResultSink>(
+          BuildManifest(spec, run_options, schemes));
+      tee.AddSink(archive.get());
+    }
+    std::unique_ptr<ProgressSink> progress_sink;
+    if (options.progress) {
+      progress_sink = std::make_unique<ProgressSink>(
+          spec.name, spec.panel_values.size() * schemes.size() *
+                         run_options.thread_counts.size());
+      tee.AddSink(progress_sink.get());
+    }
+
+    std::unique_ptr<PagingModel> paging;
+    if (spec.enable_paging) {
+      paging = std::make_unique<PagingModel>(PagingModel::Config{});
+      HtmRuntime::Global().set_interrupt_source(paging.get());
+    }
+
+    spec.run(spec, run_options, schemes, tee);
+
+    std::printf("%s", report.Render(options.csv).c_str());
+    if (paging != nullptr) {
+      std::printf("paging faults injected: %llu\n",
+                  static_cast<unsigned long long>(paging->TotalFaults()));
+      HtmRuntime::Global().set_interrupt_source(nullptr);
+    }
+
+    if (!json_dir.empty()) {
+      const std::string path = json_dir + "/" + spec.name + ".json";
+      io_ok = WriteResultFile(path, {archive.get()}) && io_ok;
+    }
+    if (archive != nullptr) {
+      archives.push_back(std::move(archive));
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::vector<const JsonResultSink*> views;
+    views.reserve(archives.size());
+    for (const auto& archive : archives) {
+      views.push_back(archive.get());
+    }
+    io_ok = WriteResultFile(json_path, views) && io_ok;
+  }
+
+  if (FinishAnalysis(options) != 0) {
+    return 2;
+  }
+  return io_ok ? 0 : 1;
+}
+
+}  // namespace rwle

@@ -1,0 +1,23 @@
+// Shared grid runner for the hashmap sensitivity scenarios (Figures 3-7):
+// read ops are lookups, write ops alternate insert/remove.
+#ifndef RWLE_BENCH_SCENARIOS_HASHMAP_GRID_H_
+#define RWLE_BENCH_SCENARIOS_HASHMAP_GRID_H_
+
+#include <memory>
+
+#include "bench/scenarios/scenario.h"
+#include "src/workloads/hashmap/hashmap_workload.h"
+
+namespace rwle {
+
+inline ScenarioRunFn HashMapGridRunner(HashMapScenario scenario) {
+  return MakeGridRunner<HashMapWorkload>(
+      [scenario] { return std::make_unique<HashMapWorkload>(scenario); },
+      [](HashMapWorkload& workload, ElidableLock& lock, Rng& rng, bool is_write) {
+        workload.Op(lock, rng, is_write);
+      });
+}
+
+}  // namespace rwle
+
+#endif  // RWLE_BENCH_SCENARIOS_HASHMAP_GRID_H_

@@ -41,6 +41,11 @@ void FlagSet::AddString(const std::string& name, std::string* target, const std:
   flags_.push_back({name, Kind::kString, target, help, *target});
 }
 
+void FlagSet::AllowPositional(std::vector<std::string>* out, const std::string& help) {
+  positional_ = out;
+  positional_help_ = help;
+}
+
 const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
   for (const auto& flag : flags_) {
     if (flag.name == name) {
@@ -104,6 +109,10 @@ bool FlagSet::Parse(int argc, char** argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (positional_ != nullptr) {
+        positional_->push_back(arg);
+        continue;
+      }
       std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
                    Usage().c_str());
       return false;
@@ -155,7 +164,11 @@ bool FlagSet::Parse(int argc, char** argv) {
 
 std::string FlagSet::Usage() const {
   std::ostringstream os;
-  os << description_ << "\n\nFlags:\n";
+  os << description_ << "\n";
+  if (positional_ != nullptr) {
+    os << "\nPositional arguments: " << positional_help_ << "\n";
+  }
+  os << "\nFlags:\n";
   for (const auto& flag : flags_) {
     os << "  --" << flag.name << "  (default: " << flag.default_repr << ")\n      "
        << flag.help << "\n";

@@ -21,6 +21,11 @@ class FlagSet {
   void AddBool(const std::string& name, bool* target, const std::string& help);
   void AddString(const std::string& name, std::string* target, const std::string& help);
 
+  // Accepts bare (non --flag) arguments and appends them to *out in order.
+  // `help` names them in the usage text. Without this, positional arguments
+  // are parse errors.
+  void AllowPositional(std::vector<std::string>* out, const std::string& help);
+
   // Parses argv. Returns false (after printing usage) on malformed input or
   // --help. Unrecognized flags are errors.
   bool Parse(int argc, char** argv);
@@ -43,6 +48,8 @@ class FlagSet {
 
   std::string description_;
   std::vector<Flag> flags_;
+  std::vector<std::string>* positional_ = nullptr;
+  std::string positional_help_;
 };
 
 }  // namespace rwle

@@ -98,11 +98,13 @@ std::string FigureReport::Render(bool csv) const {
       os << (csv ? wall_table.ToCsv() : wall_table.ToAscii());
     }
 
-    // Panel 2: abort breakdown (percent of speculative attempts).
+    // Panel 2: abort breakdown (percent of speculative attempts). Legend
+    // columns come from the named snapshot, the same source the JSON
+    // serializer uses.
     {
       std::vector<std::string> headers = {"scheme", "threads"};
-      for (int i = 0; i < kAbortCategoryCount; ++i) {
-        headers.push_back(AbortCategoryName(static_cast<AbortCategory>(i)));
+      for (const CounterView& entry : AbortBreakdown{}.Entries()) {
+        headers.push_back(entry.label);
       }
       headers.push_back("total");
       Table abort_table(PanelName(panel_label_, panel) + " -- aborts (% of attempts)",
@@ -113,16 +115,14 @@ std::string FigureReport::Render(bool csv) const {
           if (result == nullptr) {
             continue;
           }
-          const double attempts = static_cast<double>(result->stats.TotalCommits() +
-                                                      result->stats.TotalAborts());
+          const StatsSnapshot snapshot = result->stats.Snapshot();
+          const double attempts = static_cast<double>(snapshot.TotalAttempts());
           std::vector<std::string> row = {scheme, std::to_string(threads)};
-          for (int i = 0; i < kAbortCategoryCount; ++i) {
-            const double fraction =
-                attempts > 0 ? result->stats.aborts[i] / attempts : 0.0;
-            row.push_back(Table::Pct(fraction));
+          for (const CounterView& entry : snapshot.aborts.Entries()) {
+            row.push_back(Table::Pct(attempts > 0 ? entry.count / attempts : 0.0));
           }
-          row.push_back(Table::Pct(
-              attempts > 0 ? result->stats.TotalAborts() / attempts : 0.0));
+          row.push_back(
+              Table::Pct(attempts > 0 ? snapshot.aborts.Total() / attempts : 0.0));
           abort_table.AddRow(row);
         }
       }
@@ -132,8 +132,8 @@ std::string FigureReport::Render(bool csv) const {
     // Panel 3: commit-type breakdown (percent of committed operations).
     {
       std::vector<std::string> headers = {"scheme", "threads"};
-      for (int i = 0; i < kCommitPathCount; ++i) {
-        headers.push_back(CommitPathName(static_cast<CommitPath>(i)));
+      for (const CounterView& entry : CommitBreakdown{}.Entries()) {
+        headers.push_back(entry.label);
       }
       Table commit_table(PanelName(panel_label_, panel) + " -- commits (%)", headers);
       for (const auto& scheme : schemes) {
@@ -142,11 +142,11 @@ std::string FigureReport::Render(bool csv) const {
           if (result == nullptr) {
             continue;
           }
-          const double commits = static_cast<double>(result->stats.TotalCommits());
+          const StatsSnapshot snapshot = result->stats.Snapshot();
+          const double commits = static_cast<double>(snapshot.commits.Total());
           std::vector<std::string> row = {scheme, std::to_string(threads)};
-          for (int i = 0; i < kCommitPathCount; ++i) {
-            row.push_back(
-                Table::Pct(commits > 0 ? result->stats.commits[i] / commits : 0.0));
+          for (const CounterView& entry : snapshot.commits.Entries()) {
+            row.push_back(Table::Pct(commits > 0 ? entry.count / commits : 0.0));
           }
           commit_table.AddRow(row);
         }

@@ -1,6 +1,8 @@
 // Renders the three panels of a paper figure (execution time, abort-rate
 // breakdown, commit-type breakdown) from a grid of benchmark results
-// indexed by (scheme, panel value, thread count).
+// indexed by (scheme, panel value, thread count). One of the ResultSink
+// implementations (see result_sink.h); the JSON serializer consumes the
+// same runs through JsonResultSink.
 #ifndef RWLE_SRC_HARNESS_FIGURE_REPORT_H_
 #define RWLE_SRC_HARNESS_FIGURE_REPORT_H_
 
@@ -8,16 +10,18 @@
 #include <vector>
 
 #include "src/harness/bench_harness.h"
+#include "src/harness/result_sink.h"
 
 namespace rwle {
 
-class FigureReport {
+class FigureReport : public ResultSink {
  public:
   // `panel_label` names the quantity panels sweep over (e.g. "write locks
   // %"); panels appear in insertion order.
   FigureReport(std::string figure_title, std::string panel_label);
 
-  void Add(const std::string& scheme, double panel_value, const RunResult& result);
+  void Add(const std::string& scheme, double panel_value,
+           const RunResult& result) override;
 
   // Renders all panels: per panel value, a time table (modeled + wall
   // seconds per scheme x thread count), then abort and commit breakdowns.

@@ -1,0 +1,162 @@
+#include "src/harness/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace rwle {
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  for (std::size_t i = 0; i < scopes_.size(); ++i) {
+    os_ << "  ";
+  }
+}
+
+void JsonWriter::BeforeValue(bool is_key) {
+  if (pending_key_) {
+    // Value completing a `Key(...)`; the separator was already written.
+    RWLE_DCHECK(!is_key);
+    pending_key_ = false;
+    return;
+  }
+  if (scopes_.empty()) {
+    return;  // top-level value
+  }
+  RWLE_DCHECK(is_key == (scopes_.back() == Scope::kObject));
+  if (scope_has_member_.back()) {
+    os_ << ",";
+  }
+  scope_has_member_.back() = true;
+  os_ << "\n";
+  Indent();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue(/*is_key=*/false);
+  os_ << "{";
+  scopes_.push_back(Scope::kObject);
+  scope_has_member_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  RWLE_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  const bool had_members = scope_has_member_.back();
+  scopes_.pop_back();
+  scope_has_member_.pop_back();
+  if (had_members) {
+    os_ << "\n";
+    Indent();
+  }
+  os_ << "}";
+  if (scopes_.empty()) {
+    os_ << "\n";
+  }
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue(/*is_key=*/false);
+  os_ << "[";
+  scopes_.push_back(Scope::kArray);
+  scope_has_member_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  RWLE_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  const bool had_members = scope_has_member_.back();
+  scopes_.pop_back();
+  scope_has_member_.pop_back();
+  if (had_members) {
+    os_ << "\n";
+    Indent();
+  }
+  os_ << "]";
+  if (scopes_.empty()) {
+    os_ << "\n";
+  }
+}
+
+void JsonWriter::Key(std::string_view key) {
+  BeforeValue(/*is_key=*/true);
+  os_ << '"' << JsonEscape(key) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue(/*is_key=*/false);
+  os_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue(/*is_key=*/false);
+  os_ << value;
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue(/*is_key=*/false);
+  os_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue(/*is_key=*/false);
+  if (!std::isfinite(value)) {
+    os_ << "null";
+    return;
+  }
+  // %.17g round-trips every IEEE-754 double.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os_ << buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue(/*is_key=*/false);
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue(/*is_key=*/false);
+  os_ << "null";
+}
+
+}  // namespace rwle

@@ -1,0 +1,68 @@
+// Minimal streaming JSON emitter (no third-party dependency): explicit
+// Begin/End object/array calls, automatic comma placement, two-space
+// indentation, full string escaping, round-trippable doubles. Used by the
+// result serializer; kept generic so other tools can emit JSON too.
+#ifndef RWLE_SRC_HARNESS_JSON_WRITER_H_
+#define RWLE_SRC_HARNESS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace rwle {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object-member key; must be followed by exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Uint(std::uint64_t value);
+  void Int(std::int64_t value);
+  // Non-finite values serialize as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Key + value shorthands. The const char* overload is required: without
+  // it a string literal converts to bool (a standard conversion) in
+  // preference to string_view (user-defined), silently emitting `true`.
+  void Field(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void Field(std::string_view key, const char* value) { Key(key); String(value); }
+  void Field(std::string_view key, std::uint64_t value) { Key(key); Uint(value); }
+  void Field(std::string_view key, std::int64_t value) { Key(key); Int(value); }
+  void Field(std::string_view key, double value) { Key(key); Double(value); }
+  void Field(std::string_view key, bool value) { Key(key); Bool(value); }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  // Called before any value or key: emits the separating comma and newline
+  // + indentation appropriate for the enclosing scope.
+  void BeforeValue(bool is_key);
+  void Indent();
+
+  std::ostream& os_;
+  std::vector<Scope> scopes_;
+  // Whether the current scope already holds at least one member.
+  std::vector<bool> scope_has_member_;
+  bool pending_key_ = false;
+};
+
+// Escapes `value` per RFC 8259 (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view value);
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HARNESS_JSON_WRITER_H_

@@ -1,0 +1,134 @@
+#include "src/harness/result_serializer.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "src/harness/json_writer.h"
+
+namespace rwle {
+namespace {
+
+void WriteManifest(JsonWriter& json, const RunManifest& manifest) {
+  json.Key("manifest");
+  json.BeginObject();
+  json.Field("scenario", manifest.scenario);
+  json.Field("figure", manifest.figure);
+  json.Field("title", manifest.title);
+  json.Field("panel_label", manifest.panel_label);
+  json.Key("schemes");
+  json.BeginArray();
+  for (const auto& scheme : manifest.schemes) {
+    json.String(scheme);
+  }
+  json.EndArray();
+  json.Key("thread_counts");
+  json.BeginArray();
+  for (const std::uint32_t threads : manifest.thread_counts) {
+    json.Uint(threads);
+  }
+  json.EndArray();
+  json.Field("total_ops", manifest.total_ops);
+  json.Field("seed", manifest.seed);
+  json.Field("full_sweep", manifest.full_sweep);
+  json.Key("htm_config");
+  json.BeginObject();
+  json.Field("max_read_lines", std::uint64_t{manifest.htm_config.max_read_lines});
+  json.Field("max_write_lines", std::uint64_t{manifest.htm_config.max_write_lines});
+  json.Field("yield_access_period",
+             std::uint64_t{manifest.htm_config.yield_access_period});
+  json.EndObject();
+  json.Field("git_sha", manifest.git_sha);
+  json.Field("created_unix", manifest.created_unix);
+  json.EndObject();
+}
+
+template <std::size_t N>
+void WriteBreakdown(JsonWriter& json, std::string_view key,
+                    const std::array<CounterView, N>& entries, std::uint64_t total) {
+  json.Key(key);
+  json.BeginObject();
+  for (const CounterView& entry : entries) {
+    json.Field(entry.key, entry.count);
+  }
+  json.Field("total", total);
+  json.EndObject();
+}
+
+void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
+  const RunResult& result = entry.result;
+  const StatsSnapshot snapshot = result.stats.Snapshot();
+  json.BeginObject();
+  json.Field("scheme", entry.scheme);
+  json.Field("panel_value", entry.panel_value);
+  json.Field("threads", std::uint64_t{result.threads});
+  json.Field("total_ops", result.total_ops);
+  json.Field("wall_seconds", result.wall_seconds);
+  json.Field("modeled_seconds", result.modeled_seconds);
+  json.Field("modeled_throughput_ops", result.ModeledThroughput());
+  json.Key("cost");
+  json.BeginObject();
+  json.Field("parallel", result.cost.parallel);
+  json.Field("writer_serial", result.cost.writer_serial);
+  json.Field("global_serial", result.cost.global_serial);
+  json.EndObject();
+  WriteBreakdown(json, "commits", snapshot.commits.Entries(), snapshot.commits.Total());
+  WriteBreakdown(json, "aborts", snapshot.aborts.Entries(), snapshot.aborts.Total());
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string BuildGitSha() {
+#ifdef RWLE_GIT_SHA
+  return RWLE_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::int64_t NowUnixSeconds() {
+  return static_cast<std::int64_t>(std::time(nullptr));
+}
+
+std::ostream& WriteResultDocument(std::ostream& os,
+                                  const std::vector<const JsonResultSink*>& scenarios) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("format_version", std::uint64_t{1});
+  json.Field("generator", "rwle_bench");
+  json.Key("scenarios");
+  json.BeginArray();
+  for (const JsonResultSink* scenario : scenarios) {
+    json.BeginObject();
+    WriteManifest(json, scenario->manifest());
+    json.Key("results");
+    json.BeginArray();
+    for (const auto& entry : scenario->entries()) {
+      WriteEntry(json, entry);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return os;
+}
+
+bool WriteResultFile(const std::string& path,
+                     const std::vector<const JsonResultSink*>& scenarios) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  WriteResultDocument(out, scenarios);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rwle

@@ -1,0 +1,88 @@
+// Machine-readable benchmark results.
+//
+// JsonResultSink collects every RunResult of one scenario run together with
+// a RunManifest (what was run: scenario, schemes, sweep sizes, HtmConfig,
+// git SHA, timestamp) and serializes them as one "scenario object".
+// WriteResultDocument wraps one or more scenario objects in the versioned
+// top-level document consumed by tools/bench_compare.py:
+//
+//   {
+//     "format_version": 1,
+//     "generator": "rwle_bench",
+//     "scenarios": [ { "manifest": {...}, "results": [...] }, ... ]
+//   }
+//
+// The full schema is documented in EXPERIMENTS.md ("JSON result schema").
+#ifndef RWLE_SRC_HARNESS_RESULT_SERIALIZER_H_
+#define RWLE_SRC_HARNESS_RESULT_SERIALIZER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/result_sink.h"
+#include "src/htm/htm_config.h"
+
+namespace rwle {
+
+// Everything needed to reproduce (and meaningfully compare) a scenario run.
+struct RunManifest {
+  std::string scenario;     // registry name, e.g. "fig3"
+  std::string figure;       // paper figure, e.g. "Figure 3"
+  std::string title;        // full report title
+  std::string panel_label;  // e.g. "% write locks"
+  std::vector<std::string> schemes;
+  std::vector<std::uint32_t> thread_counts;
+  std::uint64_t total_ops = 0;
+  std::uint64_t seed = 0;  // base seed; each run uses seed + threads
+  bool full_sweep = false;
+  HtmConfig htm_config;
+  std::string git_sha;           // build-time SHA, "unknown" outside a checkout
+  std::int64_t created_unix = 0; // seconds since epoch, 0 if unavailable
+};
+
+// The compiled-in git SHA (RWLE_GIT_SHA, captured at configure time) or
+// "unknown".
+std::string BuildGitSha();
+
+// Current wall-clock time in unix seconds.
+std::int64_t NowUnixSeconds();
+
+class JsonResultSink : public ResultSink {
+ public:
+  explicit JsonResultSink(RunManifest manifest) : manifest_(std::move(manifest)) {}
+
+  void Add(const std::string& scheme, double panel_value,
+           const RunResult& result) override {
+    entries_.push_back({scheme, panel_value, result});
+  }
+
+  const RunManifest& manifest() const { return manifest_; }
+  std::size_t size() const { return entries_.size(); }
+
+  struct Entry {
+    std::string scheme;
+    double panel_value;
+    RunResult result;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  RunManifest manifest_;
+  std::vector<Entry> entries_;
+};
+
+// Writes the versioned top-level document containing `scenarios` (non-null,
+// in order). Returns the stream.
+std::ostream& WriteResultDocument(std::ostream& os,
+                                  const std::vector<const JsonResultSink*>& scenarios);
+
+// Convenience: writes the document for `scenarios` to `path`. Returns false
+// (with a message on stderr) if the file cannot be written.
+bool WriteResultFile(const std::string& path,
+                     const std::vector<const JsonResultSink*>& scenarios);
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HARNESS_RESULT_SERIALIZER_H_

@@ -1,0 +1,89 @@
+// Consumer-side abstraction of the benchmark grid: every (scheme, panel
+// value, RunResult) cell a scenario produces is pushed into a ResultSink.
+// Implementations: FigureReport (ASCII/CSV tables), JsonResultSink
+// (machine-readable archive, see result_serializer.h) and ProgressSink
+// (streaming one-line-per-run progress). TeeSink fans one grid run out to
+// several sinks so the tables and the JSON archive come from the *same*
+// runs rather than a re-execution.
+#ifndef RWLE_SRC_HARNESS_RESULT_SINK_H_
+#define RWLE_SRC_HARNESS_RESULT_SINK_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/bench_harness.h"
+
+namespace rwle {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // One completed benchmark run. `panel_value` is the scenario's displayed
+  // panel quantity (write-lock percentage for every current scenario).
+  virtual void Add(const std::string& scheme, double panel_value,
+                   const RunResult& result) = 0;
+};
+
+// Broadcasts every result to a set of non-owned sinks.
+class TeeSink : public ResultSink {
+ public:
+  void AddSink(ResultSink* sink) {
+    if (sink != nullptr) {
+      sinks_.push_back(sink);
+    }
+  }
+
+  void Add(const std::string& scheme, double panel_value,
+           const RunResult& result) override {
+    for (ResultSink* sink : sinks_) {
+      sink->Add(scheme, panel_value, result);
+    }
+  }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+// Streams one line per completed run to `stream` (stderr by default, so it
+// never pollutes the table/CSV output on stdout). `expected_runs` sizes the
+// "k/N" counter; pass 0 when the total is not known up front.
+class ProgressSink : public ResultSink {
+ public:
+  explicit ProgressSink(std::string scenario, std::size_t expected_runs = 0,
+                        std::FILE* stream = stderr)
+      : scenario_(std::move(scenario)), expected_runs_(expected_runs), stream_(stream) {}
+
+  void Add(const std::string& scheme, double panel_value,
+           const RunResult& result) override {
+    ++completed_;
+    if (expected_runs_ > 0) {
+      std::fprintf(stream_, "[%s %zu/%zu] ", scenario_.c_str(), completed_,
+                   expected_runs_);
+    } else {
+      std::fprintf(stream_, "[%s %zu] ", scenario_.c_str(), completed_);
+    }
+    const StatsSnapshot snapshot = result.stats.Snapshot();
+    std::fprintf(stream_,
+                 "%s panel=%g threads=%u: modeled %.3f ms, wall %.1f ms, "
+                 "%llu commits, %llu aborts\n",
+                 scheme.c_str(), panel_value, result.threads,
+                 result.modeled_seconds * 1e3, result.wall_seconds * 1e3,
+                 static_cast<unsigned long long>(snapshot.commits.Total()),
+                 static_cast<unsigned long long>(snapshot.aborts.Total()));
+    std::fflush(stream_);
+  }
+
+  std::size_t completed() const { return completed_; }
+
+ private:
+  std::string scenario_;
+  std::size_t expected_runs_;
+  std::FILE* stream_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HARNESS_RESULT_SINK_H_

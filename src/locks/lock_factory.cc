@@ -68,4 +68,20 @@ const std::vector<std::string>& AllLockNames() {
   return names;
 }
 
+const std::vector<SchemeInfo>& AllSchemes() {
+  static const std::vector<SchemeInfo> schemes = {
+      {"rwle-opt", "RW-LE, OPT variant (Algorithm 2, eager readers)"},
+      {"rwle-pes", "RW-LE, PES variant (pessimistic writer ROTs)"},
+      {"rwle-fair", "RW-LE FAIR variant with the ROT fallback off (Figure 7)"},
+      {"rwle-norot", "RW-LE with the ROT fallback disabled (Figure 7 baseline)"},
+      {"rwle-split", "RW-LE with split ROT/NS locks (§3.3 optimization)"},
+      {"rwle-adaptive", "RW-LE with the adaptive retry-budget tuner"},
+      {"hle", "classic HTM lock elision (every section speculates)"},
+      {"brlock", "big-reader lock (per-thread reader mutexes)"},
+      {"rwl", "pthread-style centralized read-write lock"},
+      {"sgl", "single global lock, no elision"},
+  };
+  return schemes;
+}
+
 }  // namespace rwle

@@ -21,8 +21,18 @@ std::unique_ptr<ElidableLock> MakeLock(const std::string& name);
 std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
                                        std::uint32_t max_rot_retries);
 
-// All scheme names, in the order the paper's plots list them.
+// All scheme names, in the order the paper's plots list them. This is the
+// *default sweep set* (the six schemes the figures compare); MakeLock
+// accepts the larger set below.
 const std::vector<std::string>& AllLockNames();
+
+// Every name MakeLock accepts, with a one-line description; backs the
+// driver's --list-schemes.
+struct SchemeInfo {
+  const char* name;
+  const char* description;
+};
+const std::vector<SchemeInfo>& AllSchemes();
 
 }  // namespace rwle
 

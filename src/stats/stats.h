@@ -8,6 +8,7 @@
 #ifndef RWLE_SRC_STATS_STATS_H_
 #define RWLE_SRC_STATS_STATS_H_
 
+#include <array>
 #include <cstdint>
 
 #include "src/common/cpu.h"
@@ -67,6 +68,40 @@ constexpr const char* AbortCategoryName(AbortCategory category) {
   return "?";
 }
 
+// Stable machine-readable identifiers for serialized results (JSON keys,
+// bench_compare.py). Display names above may change; these must not.
+constexpr const char* CommitPathKey(CommitPath path) {
+  switch (path) {
+    case CommitPath::kHtm:
+      return "htm";
+    case CommitPath::kRot:
+      return "rot";
+    case CommitPath::kSerial:
+      return "serial";
+    case CommitPath::kUninstrumentedRead:
+      return "uninstrumented_read";
+  }
+  return "unknown";
+}
+
+constexpr const char* AbortCategoryKey(AbortCategory category) {
+  switch (category) {
+    case AbortCategory::kHtmTxConflict:
+      return "htm_tx_conflict";
+    case AbortCategory::kHtmNonTx:
+      return "htm_non_tx";
+    case AbortCategory::kHtmCapacity:
+      return "htm_capacity";
+    case AbortCategory::kLockAborts:
+      return "lock_aborts";
+    case AbortCategory::kRotConflict:
+      return "rot_conflict";
+    case AbortCategory::kRotCapacity:
+      return "rot_capacity";
+  }
+  return "unknown";
+}
+
 // Maps an HTM-facility abort to the figure category, given the kind of
 // transaction that died.
 constexpr AbortCategory ClassifyAbort(TxKind kind, AbortCause cause) {
@@ -94,6 +129,80 @@ constexpr AbortCategory ClassifyAbort(TxKind kind, AbortCause cause) {
   }
 }
 
+// One named counter of a breakdown, in legend order: the human label used
+// by the table renderer, the stable key used by the JSON serializer, and
+// the count itself.
+struct CounterView {
+  const char* label;
+  const char* key;
+  std::uint64_t count;
+};
+
+// Snapshot of the commit-path counters with one named field per legend
+// entry. Both the figure renderer and the result serializer consume this
+// (rather than indexing raw arrays), so the set of categories has a single
+// authoritative description.
+struct CommitBreakdown {
+  std::uint64_t htm = 0;
+  std::uint64_t rot = 0;
+  std::uint64_t serial = 0;
+  std::uint64_t uninstrumented_read = 0;
+
+  std::uint64_t Total() const { return htm + rot + serial + uninstrumented_read; }
+
+  // Legend order of the paper's commit-type panels.
+  std::array<CounterView, kCommitPathCount> Entries() const {
+    return {{
+        {CommitPathName(CommitPath::kHtm), CommitPathKey(CommitPath::kHtm), htm},
+        {CommitPathName(CommitPath::kRot), CommitPathKey(CommitPath::kRot), rot},
+        {CommitPathName(CommitPath::kSerial), CommitPathKey(CommitPath::kSerial),
+         serial},
+        {CommitPathName(CommitPath::kUninstrumentedRead),
+         CommitPathKey(CommitPath::kUninstrumentedRead), uninstrumented_read},
+    }};
+  }
+};
+
+// Snapshot of the abort counters; same contract as CommitBreakdown.
+struct AbortBreakdown {
+  std::uint64_t htm_tx_conflict = 0;
+  std::uint64_t htm_non_tx = 0;
+  std::uint64_t htm_capacity = 0;
+  std::uint64_t lock_aborts = 0;
+  std::uint64_t rot_conflict = 0;
+  std::uint64_t rot_capacity = 0;
+
+  std::uint64_t Total() const {
+    return htm_tx_conflict + htm_non_tx + htm_capacity + lock_aborts + rot_conflict +
+           rot_capacity;
+  }
+
+  // Legend order of the paper's abort panels (Figures 3-10).
+  std::array<CounterView, kAbortCategoryCount> Entries() const {
+    return {{
+        {AbortCategoryName(AbortCategory::kHtmTxConflict),
+         AbortCategoryKey(AbortCategory::kHtmTxConflict), htm_tx_conflict},
+        {AbortCategoryName(AbortCategory::kHtmNonTx),
+         AbortCategoryKey(AbortCategory::kHtmNonTx), htm_non_tx},
+        {AbortCategoryName(AbortCategory::kHtmCapacity),
+         AbortCategoryKey(AbortCategory::kHtmCapacity), htm_capacity},
+        {AbortCategoryName(AbortCategory::kLockAborts),
+         AbortCategoryKey(AbortCategory::kLockAborts), lock_aborts},
+        {AbortCategoryName(AbortCategory::kRotConflict),
+         AbortCategoryKey(AbortCategory::kRotConflict), rot_conflict},
+        {AbortCategoryName(AbortCategory::kRotCapacity),
+         AbortCategoryKey(AbortCategory::kRotCapacity), rot_capacity},
+    }};
+  }
+};
+
+struct StatsSnapshot {
+  CommitBreakdown commits;
+  AbortBreakdown aborts;
+
+  std::uint64_t TotalAttempts() const { return commits.Total() + aborts.Total(); }
+};
+
 struct ThreadStats {
   std::uint64_t commits[kCommitPathCount] = {};
   std::uint64_t aborts[kAbortCategoryCount] = {};
@@ -112,6 +221,27 @@ struct ThreadStats {
       total += a;
     }
     return total;
+  }
+
+  // The named view of these counters (see CommitBreakdown / AbortBreakdown).
+  StatsSnapshot Snapshot() const {
+    StatsSnapshot snapshot;
+    snapshot.commits.htm = commits[static_cast<int>(CommitPath::kHtm)];
+    snapshot.commits.rot = commits[static_cast<int>(CommitPath::kRot)];
+    snapshot.commits.serial = commits[static_cast<int>(CommitPath::kSerial)];
+    snapshot.commits.uninstrumented_read =
+        commits[static_cast<int>(CommitPath::kUninstrumentedRead)];
+    snapshot.aborts.htm_tx_conflict =
+        aborts[static_cast<int>(AbortCategory::kHtmTxConflict)];
+    snapshot.aborts.htm_non_tx = aborts[static_cast<int>(AbortCategory::kHtmNonTx)];
+    snapshot.aborts.htm_capacity =
+        aborts[static_cast<int>(AbortCategory::kHtmCapacity)];
+    snapshot.aborts.lock_aborts = aborts[static_cast<int>(AbortCategory::kLockAborts)];
+    snapshot.aborts.rot_conflict =
+        aborts[static_cast<int>(AbortCategory::kRotConflict)];
+    snapshot.aborts.rot_capacity =
+        aborts[static_cast<int>(AbortCategory::kRotCapacity)];
+    return snapshot;
   }
 
   ThreadStats& operator+=(const ThreadStats& other) {

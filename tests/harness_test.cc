@@ -9,6 +9,7 @@
 
 #include "src/common/thread_registry.h"
 #include "src/harness/figure_report.h"
+#include "src/harness/result_sink.h"
 #include "src/locks/lock_factory.h"
 #include "src/memory/tx_var.h"
 #include "src/stats/cost_meter.h"
@@ -163,6 +164,148 @@ TEST(FigureReportTest, RendersAllPanels) {
 
   const std::string csv = report.Render(true);
   EXPECT_NE(csv.find("threads,hle,rwle-opt"), std::string::npos);
+}
+
+// Golden-render test: the exact table layout is part of the tool's contract
+// (scripts scrape the CSV form, and the ASCII form is pasted into reports).
+// If a rendering change is intentional, update the expected strings here.
+TEST(FigureReportTest, GoldenRender) {
+  FigureReport report("Golden Figure", "% write locks");
+  RunResult r;
+  r.threads = 1;
+  r.total_ops = 1000;
+  r.wall_seconds = 0.5;
+  r.modeled_seconds = 0.25;
+  r.stats.commits[static_cast<int>(CommitPath::kHtm)] = 600;
+  r.stats.commits[static_cast<int>(CommitPath::kRot)] = 200;
+  r.stats.commits[static_cast<int>(CommitPath::kSerial)] = 100;
+  r.stats.commits[static_cast<int>(CommitPath::kUninstrumentedRead)] = 100;
+  r.stats.aborts[static_cast<int>(AbortCategory::kHtmTxConflict)] = 50;
+  r.stats.aborts[static_cast<int>(AbortCategory::kHtmCapacity)] = 30;
+  r.stats.aborts[static_cast<int>(AbortCategory::kRotConflict)] = 20;
+  report.Add("rwle-opt", 10, r);
+  r.threads = 2;
+  r.wall_seconds = 0.25;
+  r.modeled_seconds = 0.125;
+  report.Add("rwle-opt", 10, r);
+  r.threads = 1;
+  r.wall_seconds = 0.75;
+  r.modeled_seconds = 0.5;
+  r.stats = ThreadStats{};
+  r.stats.commits[static_cast<int>(CommitPath::kSerial)] = 1000;
+  r.stats.aborts[static_cast<int>(AbortCategory::kHtmNonTx)] = 250;
+  report.Add("hle", 10, r);
+
+  const std::string expected_ascii =
+      "==== Golden Figure ====\n"
+      "== 10 % write locks -- modeled time (ms) ==\n"
+      "+----------+-----------+----------+\n"
+      "| threads | rwle-opt | hle     |\n"
+      "+----------+-----------+----------+\n"
+      "| 1       | 250.000  | 500.000 |\n"
+      "| 2       | 125.000  | -       |\n"
+      "+----------+-----------+----------+\n"
+      "== 10 % write locks -- wall time (ms) ==\n"
+      "+----------+-----------+----------+\n"
+      "| threads | rwle-opt | hle     |\n"
+      "+----------+-----------+----------+\n"
+      "| 1       | 500.000  | 750.000 |\n"
+      "| 2       | 250.000  | -       |\n"
+      "+----------+-----------+----------+\n"
+      "== 10 % write locks -- aborts (% of attempts) ==\n"
+      "+-----------+----------+---------+-------------+---------------+"
+      "--------------+----------------+---------------+--------+\n"
+      "| scheme   | threads | HTM tx | HTM non-tx | HTM capacity | "
+      "Lock aborts | ROT conflicts | ROT capacity | total |\n"
+      "+-----------+----------+---------+-------------+---------------+"
+      "--------------+----------------+---------------+--------+\n"
+      "| rwle-opt | 1       | 4.5%   | 0.0%       | 2.7%         | "
+      "0.0%        | 1.8%          | 0.0%         | 9.1%  |\n"
+      "| rwle-opt | 2       | 4.5%   | 0.0%       | 2.7%         | "
+      "0.0%        | 1.8%          | 0.0%         | 9.1%  |\n"
+      "| hle      | 1       | 0.0%   | 20.0%      | 0.0%         | "
+      "0.0%        | 0.0%          | 0.0%         | 20.0% |\n"
+      "+-----------+----------+---------+-------------+---------------+"
+      "--------------+----------------+---------------+--------+\n"
+      "== 10 % write locks -- commits (%) ==\n"
+      "+-----------+----------+--------+--------+---------+-----------------+\n"
+      "| scheme   | threads | HTM   | ROT   | SGL    | Uninstrumented |\n"
+      "+-----------+----------+--------+--------+---------+-----------------+\n"
+      "| rwle-opt | 1       | 60.0% | 20.0% | 10.0%  | 10.0%          |\n"
+      "| rwle-opt | 2       | 60.0% | 20.0% | 10.0%  | 10.0%          |\n"
+      "| hle      | 1       | 0.0%  | 0.0%  | 100.0% | 0.0%           |\n"
+      "+-----------+----------+--------+--------+---------+-----------------+\n";
+  EXPECT_EQ(report.Render(false), expected_ascii);
+
+  const std::string expected_csv =
+      "==== Golden Figure ====\n"
+      "# 10 % write locks -- modeled time (ms)\n"
+      "threads,rwle-opt,hle\n"
+      "1,250.000,500.000\n"
+      "2,125.000,-\n"
+      "# 10 % write locks -- wall time (ms)\n"
+      "threads,rwle-opt,hle\n"
+      "1,500.000,750.000\n"
+      "2,250.000,-\n"
+      "# 10 % write locks -- aborts (% of attempts)\n"
+      "scheme,threads,HTM tx,HTM non-tx,HTM capacity,Lock aborts,"
+      "ROT conflicts,ROT capacity,total\n"
+      "rwle-opt,1,4.5%,0.0%,2.7%,0.0%,1.8%,0.0%,9.1%\n"
+      "rwle-opt,2,4.5%,0.0%,2.7%,0.0%,1.8%,0.0%,9.1%\n"
+      "hle,1,0.0%,20.0%,0.0%,0.0%,0.0%,0.0%,20.0%\n"
+      "# 10 % write locks -- commits (%)\n"
+      "scheme,threads,HTM,ROT,SGL,Uninstrumented\n"
+      "rwle-opt,1,60.0%,20.0%,10.0%,10.0%\n"
+      "rwle-opt,2,60.0%,20.0%,10.0%,10.0%\n"
+      "hle,1,0.0%,0.0%,100.0%,0.0%\n";
+  EXPECT_EQ(report.Render(true), expected_csv);
+}
+
+// FigureReport is a ResultSink, so the same run can feed the renderer and
+// the JSON archive through a TeeSink; verify the sink interface broadcast.
+TEST(ResultSinkTest, TeeBroadcastsToAllSinks) {
+  FigureReport report_a("A", "x");
+  FigureReport report_b("B", "x");
+  TeeSink tee;
+  tee.AddSink(&report_a);
+  tee.AddSink(&report_b);
+
+  RunResult result;
+  result.threads = 4;
+  result.total_ops = 10;
+  result.modeled_seconds = 0.001;
+  result.wall_seconds = 0.002;
+  static_cast<ResultSink&>(tee).Add("sgl", 50, result);
+
+  EXPECT_NE(report_a.Render(true).find("4,1.000"), std::string::npos);
+  EXPECT_NE(report_b.Render(true).find("4,1.000"), std::string::npos);
+}
+
+TEST(StatsSnapshotTest, SnapshotMirrorsRawCounters) {
+  ThreadStats stats;
+  stats.commits[static_cast<int>(CommitPath::kHtm)] = 7;
+  stats.commits[static_cast<int>(CommitPath::kUninstrumentedRead)] = 3;
+  stats.aborts[static_cast<int>(AbortCategory::kLockAborts)] = 5;
+  stats.aborts[static_cast<int>(AbortCategory::kRotCapacity)] = 2;
+
+  const StatsSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.commits.htm, 7u);
+  EXPECT_EQ(snapshot.commits.uninstrumented_read, 3u);
+  EXPECT_EQ(snapshot.commits.Total(), 10u);
+  EXPECT_EQ(snapshot.aborts.lock_aborts, 5u);
+  EXPECT_EQ(snapshot.aborts.rot_capacity, 2u);
+  EXPECT_EQ(snapshot.aborts.Total(), 7u);
+  EXPECT_EQ(snapshot.TotalAttempts(), 17u);
+
+  // Entries() must walk the legend order used by the figure panels.
+  const auto commit_entries = snapshot.commits.Entries();
+  EXPECT_STREQ(commit_entries[0].label, "HTM");
+  EXPECT_STREQ(commit_entries[0].key, "htm");
+  EXPECT_EQ(commit_entries[0].count, 7u);
+  const auto abort_entries = snapshot.aborts.Entries();
+  EXPECT_STREQ(abort_entries[3].label, "Lock aborts");
+  EXPECT_STREQ(abort_entries[3].key, "lock_aborts");
+  EXPECT_EQ(abort_entries[3].count, 5u);
 }
 
 }  // namespace

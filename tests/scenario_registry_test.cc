@@ -1,0 +1,145 @@
+// Registry invariants for the unified benchmark driver: every scenario
+// registers exactly one well-formed spec, registration is idempotent, and
+// a spec's run callable actually drives the full (panel x scheme x thread)
+// grid into the sink it is given.
+#include "bench/scenarios/all_scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/locks/lock_factory.h"
+
+namespace rwle {
+namespace {
+
+const std::vector<std::string> kExpectedScenarios = {
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "ablation"};
+
+TEST(ScenarioRegistryTest, EveryScenarioRegistersExactlyOnce) {
+  RegisterAllScenarios();
+  RegisterAllScenarios();  // must be idempotent, not double-register
+
+  const auto& specs = ScenarioRegistry::Global().All();
+  ASSERT_EQ(specs.size(), kExpectedScenarios.size());
+
+  // Paper order, and exactly one spec per name.
+  EXPECT_EQ(ScenarioRegistry::Global().Names(), kExpectedScenarios);
+  std::set<std::string> unique_names;
+  for (const ScenarioSpec& spec : specs) {
+    EXPECT_TRUE(unique_names.insert(spec.name).second)
+        << "duplicate scenario " << spec.name;
+  }
+}
+
+TEST(ScenarioRegistryTest, SpecsAreWellFormed) {
+  RegisterAllScenarios();
+  for (const ScenarioSpec& spec : ScenarioRegistry::Global().All()) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_FALSE(spec.figure.empty());
+    EXPECT_FALSE(spec.title.empty());
+    EXPECT_FALSE(spec.panel_label.empty());
+    EXPECT_FALSE(spec.panel_values.empty());
+    for (const double panel : spec.panel_values) {
+      EXPECT_GT(panel, 0.0);
+      EXPECT_LE(panel, 1.0);
+    }
+    EXPECT_GT(spec.default_ops, 0u);
+    EXPECT_GE(spec.full_ops, spec.default_ops);
+    EXPECT_TRUE(static_cast<bool>(spec.run));
+  }
+}
+
+TEST(ScenarioRegistryTest, DefaultSchemesAreConstructible) {
+  RegisterAllScenarios();
+  for (const ScenarioSpec& spec : ScenarioRegistry::Global().All()) {
+    if (spec.name == "ablation") {
+      // Ablation "schemes" are design-knob case labels, not lock_factory
+      // names; the scenario constructs its own locks per case.
+      continue;
+    }
+    SCOPED_TRACE(spec.name);
+    const std::vector<std::string> schemes =
+        spec.default_schemes.empty() ? AllLockNames() : spec.default_schemes;
+    for (const std::string& scheme : schemes) {
+      EXPECT_NE(MakeLock(scheme), nullptr) << scheme;
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, FindIsExactMatchOnly) {
+  RegisterAllScenarios();
+  const ScenarioSpec* fig3 = ScenarioRegistry::Global().Find("fig3");
+  ASSERT_NE(fig3, nullptr);
+  EXPECT_EQ(fig3->figure, "Figure 3");
+  EXPECT_EQ(ScenarioRegistry::Global().Find("fig"), nullptr);
+  EXPECT_EQ(ScenarioRegistry::Global().Find("fig3 "), nullptr);
+  EXPECT_EQ(ScenarioRegistry::Global().Find(""), nullptr);
+}
+
+TEST(ScenarioRegistryTest, PagingOnlyOnFig6) {
+  RegisterAllScenarios();
+  for (const ScenarioSpec& spec : ScenarioRegistry::Global().All()) {
+    EXPECT_EQ(spec.enable_paging, spec.name == "fig6") << spec.name;
+  }
+}
+
+// A sink that just counts and records cells, to check grid coverage.
+class RecordingSink : public ResultSink {
+ public:
+  void Add(const std::string& scheme, double panel_value,
+           const RunResult& result) override {
+    cells_.push_back({scheme, panel_value, result.threads});
+    total_commits_ += result.stats.TotalCommits();
+  }
+
+  struct Cell {
+    std::string scheme;
+    double panel_value;
+    std::uint32_t threads;
+  };
+  const std::vector<Cell>& cells() const { return cells_; }
+  std::uint64_t total_commits() const { return total_commits_; }
+
+ private:
+  std::vector<Cell> cells_;
+  std::uint64_t total_commits_ = 0;
+};
+
+TEST(ScenarioRegistryTest, RunDrivesFullGrid) {
+  RegisterAllScenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::Global().Find("fig5");
+  ASSERT_NE(spec, nullptr);
+
+  BenchOptions options;
+  options.thread_counts = {1, 2};
+  options.total_ops = 300;
+  options.seed = 7;
+  const std::vector<std::string> schemes = {"sgl", "rwle-opt"};
+
+  RecordingSink sink;
+  spec->run(*spec, options, schemes, sink);
+
+  // panels x schemes x thread counts, scheme-major within each panel.
+  const std::size_t expected =
+      spec->panel_values.size() * schemes.size() * options.thread_counts.size();
+  ASSERT_EQ(sink.cells().size(), expected);
+  // Every run executes exactly total_ops critical sections.
+  EXPECT_EQ(sink.total_commits(), expected * options.total_ops);
+
+  const auto& first = sink.cells()[0];
+  EXPECT_EQ(first.scheme, "sgl");
+  EXPECT_EQ(first.panel_value, spec->panel_values[0] * 100.0);
+  EXPECT_EQ(first.threads, 1u);
+  const auto& last = sink.cells().back();
+  EXPECT_EQ(last.scheme, "rwle-opt");
+  EXPECT_EQ(last.panel_value, spec->panel_values.back() * 100.0);
+  EXPECT_EQ(last.threads, 2u);
+}
+
+}  // namespace
+}  // namespace rwle

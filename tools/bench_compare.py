@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Compare two rwle_bench JSON result files and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
+                           [--abort-delta 10.0] [--require-complete]
+
+Both files must be `rwle_bench --json=...` documents (format_version 1,
+schema documented in EXPERIMENTS.md). Runs are matched on the key
+(scenario, scheme, panel_value, threads); for every matched pair the
+relative delta of modeled throughput
+
+    delta = (current - baseline) / baseline
+
+is computed, and any |delta| > --threshold is reported as a regression or
+an improvement-to-acknowledge (both fail: an unexplained speedup usually
+means the workload changed, not that the code got faster). Abort rates are
+compared in percentage points against --abort-delta.
+
+Exit codes:
+    0  all matched runs within thresholds
+    1  at least one delta beyond threshold (or missing runs with
+       --require-complete)
+    2  malformed input / usage error
+
+Only modeled throughput is gated. Wall-clock seconds depend on the host and
+are reported for information only; the modeled-time formula
+T(N) = S + max(W, P/N) is deterministic for a fixed seed up to scheduling
+noise (measured run-to-run spread is ~2-3%, so the 10% default threshold
+has healthy margin while staying below real regressions).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """Returns {key: run_dict} for every result in `path`.
+
+    Key is (scenario, scheme, panel_value, threads). Exits with code 2 on
+    malformed documents so gating failures are distinguishable from I/O or
+    schema problems.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_compare: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+    if doc.get("format_version") != 1:
+        print(
+            f"bench_compare: {path}: unsupported format_version "
+            f"{doc.get('format_version')!r} (expected 1)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    runs = {}
+    for scenario in doc.get("scenarios", []):
+        manifest = scenario.get("manifest", {})
+        name = manifest.get("scenario", "?")
+        for run in scenario.get("results", []):
+            try:
+                key = (
+                    name,
+                    run["scheme"],
+                    float(run["panel_value"]),
+                    int(run["threads"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                print(
+                    f"bench_compare: {path}: malformed run in scenario "
+                    f"{name}: {exc}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            if key in runs:
+                print(
+                    f"bench_compare: {path}: duplicate run {key}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            runs[key] = run
+    return runs
+
+
+def abort_rate_pct(run):
+    """Aborts as a percentage of speculative attempts (commits + aborts)."""
+    commits = run.get("commits", {}).get("total", 0)
+    aborts = run.get("aborts", {}).get("total", 0)
+    attempts = commits + aborts
+    return 100.0 * aborts / attempts if attempts > 0 else 0.0
+
+
+def format_key(key):
+    scenario, scheme, panel, threads = key
+    return f"{scenario}/{scheme} panel={panel:g} threads={threads}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two rwle_bench JSON result files."
+    )
+    parser.add_argument("baseline", help="baseline results JSON")
+    parser.add_argument("current", help="current results JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max |relative delta| of modeled throughput (default: 0.10)",
+    )
+    parser.add_argument(
+        "--abort-delta",
+        type=float,
+        default=10.0,
+        help="max abort-rate change in percentage points (default: 10.0)",
+    )
+    parser.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="also fail when either file has runs the other lacks",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline = load_runs(args.baseline)
+    current = load_runs(args.current)
+
+    failures = []
+    compared = 0
+    for key in sorted(baseline):
+        if key not in current:
+            continue
+        compared += 1
+        base_run, cur_run = baseline[key], current[key]
+
+        base_tp = float(base_run.get("modeled_throughput_ops", 0.0))
+        cur_tp = float(cur_run.get("modeled_throughput_ops", 0.0))
+        if base_tp <= 0.0:
+            if cur_tp > 0.0:
+                failures.append(
+                    f"{format_key(key)}: baseline throughput is 0, "
+                    f"current is {cur_tp:.0f} ops/s"
+                )
+            continue
+        delta = (cur_tp - base_tp) / base_tp
+        if abs(delta) > args.threshold:
+            direction = "regressed" if delta < 0 else "improved"
+            failures.append(
+                f"{format_key(key)}: modeled throughput {direction} "
+                f"{delta:+.1%} ({base_tp:.0f} -> {cur_tp:.0f} ops/s, "
+                f"threshold {args.threshold:.0%})"
+            )
+
+        abort_change = abort_rate_pct(cur_run) - abort_rate_pct(base_run)
+        if abs(abort_change) > args.abort_delta:
+            failures.append(
+                f"{format_key(key)}: abort rate changed {abort_change:+.1f}pp "
+                f"({abort_rate_pct(base_run):.1f}% -> "
+                f"{abort_rate_pct(cur_run):.1f}%, "
+                f"threshold {args.abort_delta:g}pp)"
+            )
+
+    missing_current = sorted(set(baseline) - set(current))
+    missing_baseline = sorted(set(current) - set(baseline))
+    if args.require_complete:
+        failures.extend(
+            f"missing from current: {format_key(k)}" for k in missing_current
+        )
+        failures.extend(
+            f"missing from baseline: {format_key(k)}" for k in missing_baseline
+        )
+
+    print(
+        f"bench_compare: {compared} matched runs "
+        f"({len(missing_current)} only in baseline, "
+        f"{len(missing_baseline)} only in current), "
+        f"threshold {args.threshold:.0%}"
+    )
+    if compared == 0 and not failures:
+        print("bench_compare: no overlapping runs to compare", file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"bench_compare: {len(failures)} check(s) failed:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        sys.exit(1)
+    print("bench_compare: OK")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,21 @@
 #!/usr/bin/env sh
-# Runs clang-tidy over the project sources using the compile database of
-# the build directory passed as $1 (default: ./build). Degrades to a
-# no-op (exit 0) when clang-tidy is not installed so that `cmake --build
-# build --target lint` never breaks a box without LLVM tools; CI installs
-# clang-tidy and therefore gets the real check.
+# Lints the project: byte-compiles the Python tooling (tools/*.py), then
+# runs clang-tidy over all C++ translation units using the compile database
+# of the build directory passed as $1 (default: ./build). The clang-tidy
+# step degrades to a no-op (exit 0) when clang-tidy is not installed so
+# that `cmake --build build --target lint` never breaks a box without LLVM
+# tools; CI installs clang-tidy and therefore gets the real check.
 set -eu
 
 BUILD_DIR="${1:-build}"
+
+# Python tooling (bench_compare.py etc.): syntax-check every script so a
+# broken tool fails lint rather than the first CI job that invokes it.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m py_compile tools/*.py
+else
+  echo "lint: python3 not found on PATH; skipping Python checks" >&2
+fi
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not found on PATH; skipping (install LLVM tools to enable)" >&2
@@ -20,7 +29,8 @@ fi
 
 # Lint our own translation units only -- third-party code pulled in via
 # FetchContent lives under the build directory and is excluded by
-# construction (we list files from the source tree).
+# construction (we list files from the source tree). find recurses, so
+# bench/scenarios/ and src/harness/ are covered along with everything else.
 FILES=$(find src bench tests examples -name '*.cc' | sort)
 
 # run-clang-tidy parallelizes across cores when available; fall back to a
