@@ -16,6 +16,7 @@
 #include "src/harness/bench_harness.h"
 #include "src/harness/result_sink.h"
 #include "src/locks/lock_factory.h"
+#include "src/trace/trace_sink.h"
 
 #ifdef RWLE_ANALYSIS
 #include "src/analysis/txsan.h"
@@ -36,6 +37,9 @@ struct BenchOptions {
   bool full = false;
   bool analysis = false;
   bool progress = false;
+  // Non-null when the driver got --trace=FILE: locks are constructed with
+  // this sink, and the grid labels a new trace run per benchmark cell.
+  MemoryTraceSink* trace = nullptr;
 };
 
 // Turns on the txsan oracle for a --analysis run. Returns false (with a
@@ -91,7 +95,9 @@ void RunFigureGrid(
     const std::function<void(Workload&, ElidableLock&, Rng&, bool)>& op) {
   for (const double ratio : write_ratios) {
     for (const auto& scheme : schemes) {
-      auto lock = MakeLock(scheme);
+      LockOptions lock_options;
+      lock_options.trace_sink = options.trace;
+      auto lock = MakeLock(scheme, lock_options);
       if (lock == nullptr) {
         std::fprintf(stderr, "unknown scheme: %s\n", scheme.c_str());
         continue;
@@ -103,11 +109,14 @@ void RunFigureGrid(
         run.total_ops = options.total_ops;
         run.write_ratio = ratio;
         run.seed = options.seed + threads;
-        const RunResult result = RunBenchmark(
-            run, lock->stats(), [&](std::uint32_t, Rng& rng, bool is_write) {
+        if (options.trace != nullptr) {
+          options.trace->BeginRun(scheme, ratio * 100.0, threads);
+        }
+        const RunResult result =
+            RunBenchmark(run, *lock, [&](std::uint32_t, Rng& rng, bool is_write) {
               op(*workload, *lock, rng, is_write);
             });
-        sink->Add(scheme, ratio * 100.0, result);
+        sink->Add(*lock, ratio * 100.0, result);
       }
     }
   }

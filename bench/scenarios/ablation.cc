@@ -57,7 +57,10 @@ void RunAblation(const ScenarioSpec& spec, const BenchOptions& options,
     if (std::find(schemes.begin(), schemes.end(), ablation.name) == schemes.end()) {
       continue;
     }
-    LockAdapter<RwLeLock> lock(ablation.policy);
+    RwLePolicy policy = ablation.policy;
+    policy.trace_sink = options.trace;
+    LockAdapter<RwLeLock> lock(ablation.name, policy);
+    lock.set_trace_sink(options.trace);
     for (const double ratio : spec.panel_values) {
       for (const std::uint32_t threads : options.thread_counts) {
         // Fresh workload per cell and seed = base + threads, matching
@@ -69,11 +72,14 @@ void RunAblation(const ScenarioSpec& spec, const BenchOptions& options,
         run.total_ops = options.total_ops;
         run.write_ratio = ratio;
         run.seed = options.seed + threads;
-        const RunResult result = RunBenchmark(
-            run, lock.stats(), [&](std::uint32_t, Rng& rng, bool is_write) {
+        if (options.trace != nullptr) {
+          options.trace->BeginRun(ablation.name, ratio * 100.0, threads);
+        }
+        const RunResult result =
+            RunBenchmark(run, lock, [&](std::uint32_t, Rng& rng, bool is_write) {
               workload->Op(lock, rng, is_write);
             });
-        sink.Add(ablation.name, ratio * 100.0, result);
+        sink.Add(lock, ratio * 100.0, result);
       }
     }
   }

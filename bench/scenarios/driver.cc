@@ -17,6 +17,8 @@
 #include "src/harness/result_sink.h"
 #include "src/htm/htm_runtime.h"
 #include "src/memory/paging_model.h"
+#include "src/trace/trace_export.h"
+#include "src/trace/trace_sink.h"
 
 namespace rwle {
 namespace {
@@ -103,6 +105,7 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   bool run_all = false;
   std::string json_path;
   std::string json_dir;
+  std::string trace_path;
   bool list_scenarios = false;
   bool list_schemes = false;
   std::vector<std::string> positional;
@@ -138,6 +141,9 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
                   "write all selected scenarios as one JSON document to this file");
   flags.AddString("json-dir", &json_dir,
                   "write one JSON document per scenario to DIR/<scenario>.json");
+  flags.AddString("trace", &trace_path,
+                  "record transaction-level events and write a Chrome "
+                  "trace_event JSON file (view in Perfetto)");
   flags.AddBool("list-scenarios", &list_scenarios,
                 "print the scenario registry and exit");
   flags.AddBool("list-schemes", &list_schemes,
@@ -180,6 +186,15 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   options.progress = progress;
   if (analysis && !EnableAnalysis()) {
     return 1;
+  }
+
+  // Tracing: one sink for the whole invocation; the HTM runtime's pointer
+  // turns the transaction-level emit sites on, scenario code labels runs.
+  std::unique_ptr<MemoryTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<MemoryTraceSink>();
+    HtmRuntime::Global().set_trace_sink(trace_sink.get());
+    options.trace = trace_sink.get();
   }
 
   std::vector<std::string> selected;
@@ -249,6 +264,10 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
       tee.AddSink(progress_sink.get());
     }
 
+    if (trace_sink != nullptr) {
+      trace_sink->set_scenario(spec.name);
+    }
+
     std::unique_ptr<PagingModel> paging;
     if (spec.enable_paging) {
       paging = std::make_unique<PagingModel>(PagingModel::Config{});
@@ -280,6 +299,11 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
       views.push_back(archive.get());
     }
     io_ok = WriteResultFile(json_path, views) && io_ok;
+  }
+
+  if (trace_sink != nullptr) {
+    HtmRuntime::Global().set_trace_sink(nullptr);
+    io_ok = WriteChromeTraceFile(trace_path, *trace_sink) && io_ok;
   }
 
   if (FinishAnalysis(options) != 0) {

@@ -1,4 +1,4 @@
-#include "src/harness/json_writer.h"
+#include "src/common/json_writer.h"
 
 #include <cmath>
 #include <cstdio>
@@ -53,7 +53,7 @@ void JsonWriter::Indent() {
   }
 }
 
-void JsonWriter::BeforeValue(bool is_key) {
+void JsonWriter::BeforeValue([[maybe_unused]] bool is_key) {
   if (pending_key_) {
     // Value completing a `Key(...)`; the separator was already written.
     RWLE_DCHECK(!is_key);

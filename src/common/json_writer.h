@@ -1,9 +1,10 @@
 // Minimal streaming JSON emitter (no third-party dependency): explicit
 // Begin/End object/array calls, automatic comma placement, two-space
 // indentation, full string escaping, round-trippable doubles. Used by the
-// result serializer; kept generic so other tools can emit JSON too.
-#ifndef RWLE_SRC_HARNESS_JSON_WRITER_H_
-#define RWLE_SRC_HARNESS_JSON_WRITER_H_
+// result serializer and the Chrome-trace exporter; kept generic so other
+// tools can emit JSON too.
+#ifndef RWLE_SRC_COMMON_JSON_WRITER_H_
+#define RWLE_SRC_COMMON_JSON_WRITER_H_
 
 #include <cstdint>
 #include <ostream>
@@ -65,4 +66,4 @@ std::string JsonEscape(std::string_view value);
 
 }  // namespace rwle
 
-#endif  // RWLE_SRC_HARNESS_JSON_WRITER_H_
+#endif  // RWLE_SRC_COMMON_JSON_WRITER_H_

@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_registry.h"
+#include "src/locks/elidable_lock.h"
 
 namespace rwle {
 
@@ -55,6 +56,13 @@ RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const Op
   result.cost = CostMeter::Global().Aggregate();
   result.modeled_seconds = CostMeter::ModeledSeconds(result.cost, options.threads);
   result.stats = stats.Aggregate();
+  return result;
+}
+
+RunResult RunBenchmark(const RunOptions& options, ElidableLock& lock, const OpFn& op) {
+  lock.latency().Reset();
+  RunResult result = RunBenchmark(options, lock.stats(), op);
+  result.latency = lock.latency().Snapshot();
   return result;
 }
 

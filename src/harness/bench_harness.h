@@ -11,8 +11,11 @@
 #include "src/common/rng.h"
 #include "src/stats/cost_meter.h"
 #include "src/stats/stats.h"
+#include "src/trace/latency_registry.h"
 
 namespace rwle {
+
+class ElidableLock;
 
 struct RunOptions {
   std::uint32_t threads = 2;
@@ -31,6 +34,9 @@ struct RunResult {
   double modeled_seconds = 0.0;
   CostMeter::Totals cost;
   ThreadStats stats;
+  // Modeled per-op latency percentiles; populated only by the ElidableLock
+  // overload of RunBenchmark (all-zero counts otherwise).
+  LatencySnapshot latency;
 
   double ModeledThroughput() const {
     return modeled_seconds > 0 ? static_cast<double>(total_ops) / modeled_seconds : 0.0;
@@ -46,6 +52,11 @@ using OpFn = std::function<void(std::uint32_t thread_index, Rng& rng, bool is_wr
 // caller must NOT hold one on the calling thread while the run executes
 // workers (the harness runs ops only on the spawned workers).
 RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const OpFn& op);
+
+// Same, driving an ElidableLock: additionally resets the lock's latency
+// registry before the run and snapshots it into result.latency after. The
+// op callback is still responsible for calling lock.Read/Write itself.
+RunResult RunBenchmark(const RunOptions& options, ElidableLock& lock, const OpFn& op);
 
 }  // namespace rwle
 

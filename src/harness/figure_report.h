@@ -16,6 +16,8 @@ namespace rwle {
 
 class FigureReport : public ResultSink {
  public:
+  using ResultSink::Add;
+
   // `panel_label` names the quantity panels sweep over (e.g. "write locks
   // %"); panels appear in insertion order.
   FigureReport(std::string figure_title, std::string panel_label);

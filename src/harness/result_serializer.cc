@@ -4,7 +4,7 @@
 #include <ctime>
 #include <fstream>
 
-#include "src/harness/json_writer.h"
+#include "src/common/json_writer.h"
 
 namespace rwle {
 namespace {
@@ -55,6 +55,48 @@ void WriteBreakdown(JsonWriter& json, std::string_view key,
   json.EndObject();
 }
 
+void WriteLatencyStats(JsonWriter& json, std::string_view key,
+                       const LatencyStats& stats) {
+  json.Key(key);
+  json.BeginObject();
+  json.Field("count", stats.count);
+  json.Field("mean_ns", stats.mean);
+  json.Field("p50_ns", stats.p50);
+  json.Field("p90_ns", stats.p90);
+  json.Field("p99_ns", stats.p99);
+  json.Field("p999_ns", stats.p999);
+  json.Field("max_ns", stats.max);
+  json.EndObject();
+}
+
+// Per-op latency percentiles (modeled nanoseconds), with a per-commit-path
+// breakdown for paths that were actually taken. Omitted entirely when the
+// run recorded no latencies (legacy StatsRegistry-only runs).
+void WriteLatency(JsonWriter& json, const LatencySnapshot& latency) {
+  if (latency.op[static_cast<int>(OpKind::kRead)].count == 0 &&
+      latency.op[static_cast<int>(OpKind::kWrite)].count == 0) {
+    return;
+  }
+  json.Key("latency");
+  json.BeginObject();
+  for (int op = 0; op < kOpKindCount; ++op) {
+    WriteLatencyStats(json, OpKindName(static_cast<OpKind>(op)), latency.op[op]);
+  }
+  for (int op = 0; op < kOpKindCount; ++op) {
+    json.Key(std::string(OpKindName(static_cast<OpKind>(op))) + "_paths");
+    json.BeginObject();
+    for (int path = 0; path < kCommitPathCount; ++path) {
+      const LatencyStats& stats = latency.by_path[op][path];
+      if (stats.count == 0) {
+        continue;
+      }
+      WriteLatencyStats(json, CommitPathKey(static_cast<CommitPath>(path)), stats);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
 void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   const RunResult& result = entry.result;
   const StatsSnapshot snapshot = result.stats.Snapshot();
@@ -74,6 +116,7 @@ void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   json.EndObject();
   WriteBreakdown(json, "commits", snapshot.commits.Entries(), snapshot.commits.Total());
   WriteBreakdown(json, "aborts", snapshot.aborts.Entries(), snapshot.aborts.Total());
+  WriteLatency(json, result.latency);
   json.EndObject();
 }
 

@@ -51,6 +51,8 @@ std::int64_t NowUnixSeconds();
 
 class JsonResultSink : public ResultSink {
  public:
+  using ResultSink::Add;
+
   explicit JsonResultSink(RunManifest manifest) : manifest_(std::move(manifest)) {}
 
   void Add(const std::string& scheme, double panel_value,

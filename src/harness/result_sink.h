@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/harness/bench_harness.h"
+#include "src/locks/elidable_lock.h"
 
 namespace rwle {
 
@@ -24,11 +25,18 @@ class ResultSink {
   // panel quantity (write-lock percentage for every current scenario).
   virtual void Add(const std::string& scheme, double panel_value,
                    const RunResult& result) = 0;
+
+  // Convenience: label the run with the lock's own scheme name.
+  void Add(const ElidableLock& lock, double panel_value, const RunResult& result) {
+    Add(std::string(lock.name()), panel_value, result);
+  }
 };
 
 // Broadcasts every result to a set of non-owned sinks.
 class TeeSink : public ResultSink {
  public:
+  using ResultSink::Add;
+
   void AddSink(ResultSink* sink) {
     if (sink != nullptr) {
       sinks_.push_back(sink);
@@ -51,6 +59,8 @@ class TeeSink : public ResultSink {
 // "k/N" counter; pass 0 when the total is not known up front.
 class ProgressSink : public ResultSink {
  public:
+  using ResultSink::Add;
+
   explicit ProgressSink(std::string scenario, std::size_t expected_runs = 0,
                         std::FILE* stream = stderr)
       : scenario_(std::move(scenario)), expected_runs_(expected_runs), stream_(stream) {}

@@ -6,6 +6,7 @@
 #include "src/common/cpu.h"
 #include "src/htm/preemption.h"
 #include "src/stats/cost_meter.h"
+#include "src/trace/trace_sink.h"
 
 namespace rwle {
 
@@ -63,6 +64,7 @@ void HtmRuntime::TxBegin(TxKind kind) {
   // epoch advanced).
   ctx->status_.store(PackStatus(StatusEpoch(status), AbortCause::kNone, TxPhase::kActive));
   RWLE_TXSAN_HOOK(*this, OnTxBegin(ctx->thread_slot_, kind));
+  EmitTraceEvent(trace_sink(), TraceEventType::kTxBegin, static_cast<std::uint8_t>(kind));
 }
 
 void HtmRuntime::TxCommit() {
@@ -112,6 +114,8 @@ void HtmRuntime::TxCommit() {
   ctx->counters_.commits[static_cast<int>(ctx->kind_)]++;
   CostMeter::Global().Charge(CostModel::kTxCommit);
   RWLE_TXSAN_HOOK(*this, OnTxCommitted(ctx->thread_slot_, ctx->kind_));
+  EmitTraceEvent(trace_sink(), TraceEventType::kTxCommit,
+                 static_cast<std::uint8_t>(ctx->kind_));
   ctx->status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
 }
 
@@ -172,6 +176,8 @@ void HtmRuntime::TxSuspend() {
   }
 #endif
   RWLE_TXSAN_HOOK(*this, OnTxSuspend(ctx->thread_slot_));
+  EmitTraceEvent(trace_sink(), TraceEventType::kTxSuspend,
+                 static_cast<std::uint8_t>(ctx->kind_));
 }
 
 void HtmRuntime::TxResume() {
@@ -185,6 +191,8 @@ void HtmRuntime::TxResume() {
     RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
   }
   RWLE_TXSAN_HOOK(*this, OnTxResume(ctx->thread_slot_));
+  EmitTraceEvent(trace_sink(), TraceEventType::kTxResume,
+                 static_cast<std::uint8_t>(ctx->kind_));
 }
 
 bool HtmRuntime::InTx() {
@@ -230,6 +238,8 @@ AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
   ctx.counters_.aborts[static_cast<int>(ctx.kind_)][static_cast<int>(cause)]++;
   CostMeter::Global().Charge(CostModel::kTxAbort);
   RWLE_TXSAN_HOOK(*this, OnTxAborted(ctx.thread_slot_, ctx.kind_, cause));
+  EmitTraceEvent(trace_sink(), TraceEventType::kTxAbort,
+                 static_cast<std::uint8_t>(ctx.kind_), static_cast<std::uint8_t>(cause));
   // Footprint is clear: safe to advance the epoch and go idle.
   ctx.status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
   return cause;

@@ -29,6 +29,8 @@
 
 namespace rwle {
 
+class TraceSink;
+
 // Implemented by the paging model (src/memory/paging_model.h). Called on
 // every fabric access; returns true if the access incurred a page fault /
 // interrupt, which dooms any in-flight transaction of the calling thread.
@@ -125,6 +127,17 @@ class HtmRuntime {
   FabricObserver* analysis_observer() const {
     return analysis_observer_.load(std::memory_order_acquire);
   }
+
+  // --- Tracing (src/trace) ----------------------------------------------
+  //
+  // Null (the default) disables tracing: every emit site reduces to one
+  // pointer test. Set/cleared by the driver while no transaction is in
+  // flight; relaxed loads suffice because workers only start after the
+  // store (thread creation synchronizes).
+  void set_trace_sink(TraceSink* sink) {
+    trace_sink_.store(sink, std::memory_order_release);
+  }
+  TraceSink* trace_sink() const { return trace_sink_.load(std::memory_order_relaxed); }
 
 #ifdef RWLE_ANALYSIS
   // Test-only semantic-bug injection used by the txsan self-tests: each flag
@@ -245,6 +258,7 @@ class HtmRuntime {
   TxContext contexts_[kMaxThreads];
   InterruptSource* interrupt_source_ = nullptr;
   std::atomic<FabricObserver*> analysis_observer_{nullptr};
+  std::atomic<TraceSink*> trace_sink_{nullptr};
 #ifdef RWLE_ANALYSIS
   FaultInjection fault_injection_;
 #endif

@@ -13,14 +13,17 @@
 #include "src/common/thread_registry.h"
 #include "src/htm/htm_runtime.h"
 #include "src/rwle/lock_word.h"
+#include "src/rwle/path_policy.h"
 #include "src/stats/cost_meter.h"
 #include "src/stats/stats.h"
+#include "src/trace/trace_sink.h"
 
 namespace rwle {
 
 class HleLock {
  public:
-  explicit HleLock(std::uint32_t max_retries = 5) : max_retries_(max_retries) {}
+  explicit HleLock(std::uint32_t max_retries = 5, TraceSink* trace_sink = nullptr)
+      : max_retries_(max_retries), trace_sink_(trace_sink) {}
 
   HleLock(const HleLock&) = delete;
   HleLock& operator=(const HleLock&) = delete;
@@ -72,6 +75,9 @@ class HleLock {
 
     // Serial fallback: acquire the lock for real. The acquisition dooms all
     // in-flight fast-path transactions (they subscribed to the lock).
+    EmitTraceEvent(trace_sink_, TraceEventType::kPathTransition,
+                   static_cast<std::uint8_t>(WritePath::kHtm),
+                   static_cast<std::uint8_t>(WritePath::kNs));
     const std::uint64_t held = lock_.Acquire(LockState::kNsLocked);
     {
       SerialSectionScope serial_scope(SerialScope::kGlobal);
@@ -88,6 +94,7 @@ class HleLock {
 
   LockWord lock_;
   std::uint32_t max_retries_;
+  TraceSink* trace_sink_;
   StatsRegistry stats_;
 };
 

@@ -8,57 +8,80 @@
 
 namespace rwle {
 
-std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
-                                       std::uint32_t max_rot_retries) {
+namespace {
+
+// Wraps a concrete lock in a named LockAdapter with the trace sink applied.
+template <typename Lock, typename... Args>
+std::unique_ptr<ElidableLock> Adapt(const std::string& name, const LockOptions& options,
+                                    Args&&... args) {
+  auto adapter = std::make_unique<LockAdapter<Lock>>(name, std::forward<Args>(args)...);
+  adapter->set_trace_sink(options.trace_sink);
+  return adapter;
+}
+
+RwLePolicy PolicyFromOptions(const LockOptions& options) {
   RwLePolicy policy;
-  policy.max_htm_retries = max_htm_retries;
-  policy.max_rot_retries = max_rot_retries;
+  policy.max_htm_retries = options.max_htm_retries;
+  policy.max_rot_retries = options.max_rot_retries;
+  policy.single_scan_ns_sync = options.single_scan_ns_sync;
+  policy.trace_sink = options.trace_sink;
+  return policy;
+}
+
+}  // namespace
+
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name, const LockOptions& options) {
+  RwLePolicy policy = PolicyFromOptions(options);
 
   if (name == "rwle-opt") {
     policy.variant = RwLeVariant::kOpt;
-    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+    return Adapt<RwLeLock>(name, options, policy);
   }
   if (name == "rwle-pes") {
     policy.variant = RwLeVariant::kPes;
-    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+    return Adapt<RwLeLock>(name, options, policy);
   }
   if (name == "rwle-fair") {
     policy.variant = RwLeVariant::kFair;
     policy.use_rot = false;  // the Figure 7 configuration
-    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+    return Adapt<RwLeLock>(name, options, policy);
   }
   if (name == "rwle-split") {
     policy.variant = RwLeVariant::kOpt;
     policy.split_rot_ns_locks = true;
-    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+    return Adapt<RwLeLock>(name, options, policy);
   }
   if (name == "rwle-adaptive") {
     policy.variant = RwLeVariant::kOpt;
     policy.adaptive = true;
-    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+    return Adapt<RwLeLock>(name, options, policy);
   }
   if (name == "rwle-norot") {
     policy.variant = RwLeVariant::kOpt;
     policy.use_rot = false;
-    return std::make_unique<LockAdapter<RwLeLock>>(policy);
+    return Adapt<RwLeLock>(name, options, policy);
   }
   if (name == "hle") {
-    return std::make_unique<LockAdapter<HleLock>>(max_htm_retries);
+    return Adapt<HleLock>(name, options, options.max_htm_retries, options.trace_sink);
   }
   if (name == "brlock") {
-    return std::make_unique<LockAdapter<BrLock>>();
+    return Adapt<BrLock>(name, options);
   }
   if (name == "rwl") {
-    return std::make_unique<LockAdapter<RwLock>>();
+    return Adapt<RwLock>(name, options);
   }
   if (name == "sgl") {
-    return std::make_unique<LockAdapter<SglLock>>();
+    return Adapt<SglLock>(name, options);
   }
   return nullptr;
 }
 
-std::unique_ptr<ElidableLock> MakeLock(const std::string& name) {
-  return MakeLock(name, 5, 5);
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
+                                       std::uint32_t max_rot_retries) {
+  LockOptions options;
+  options.max_htm_retries = max_htm_retries;
+  options.max_rot_retries = max_rot_retries;
+  return MakeLock(name, options);
 }
 
 const std::vector<std::string>& AllLockNames() {

@@ -3,6 +3,7 @@
 #ifndef RWLE_SRC_LOCKS_LOCK_FACTORY_H_
 #define RWLE_SRC_LOCKS_LOCK_FACTORY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,12 +13,32 @@
 
 namespace rwle {
 
-// Known names: "rwle-opt", "rwle-pes", "rwle-fair", "rwle-norot" (RW-LE with
-// the ROT fallback disabled, Figure 7), "rwle-split" (split ROT/NS locks, §3.3), "hle", "brlock", "rwl", "sgl".
-// Returns nullptr for unknown names.
-std::unique_ptr<ElidableLock> MakeLock(const std::string& name);
+class TraceSink;
 
-// Same, with explicit retry budgets for the speculative paths.
+// Construction knobs shared by every scheme. Knobs a scheme has no use for
+// are ignored (e.g. ROT retries by HLE, both retry budgets by the
+// non-speculative locks), so one options value can configure a whole sweep.
+struct LockOptions {
+  std::uint32_t max_htm_retries = 5;  // speculative attempts before demoting
+  std::uint32_t max_rot_retries = 5;  // ROT attempts before the NS path
+  // RW-LE §3.3: single-traversal quiescence on the NS path. Off = the
+  // unoptimized two-pass barrier (the ablation bench's configuration).
+  bool single_scan_ns_sync = true;
+  // Destination for the lock's trace events (path transitions, reader
+  // stalls, per-op latencies). Null = tracing off; not owned, must outlive
+  // the lock.
+  TraceSink* trace_sink = nullptr;
+};
+
+// Known names: "rwle-opt", "rwle-pes", "rwle-fair", "rwle-norot" (RW-LE with
+// the ROT fallback disabled, Figure 7), "rwle-split" (split ROT/NS locks,
+// §3.3), "rwle-adaptive", "hle", "brlock", "rwl", "sgl"; the authoritative
+// list is AllSchemes(). Returns nullptr for unknown names.
+std::unique_ptr<ElidableLock> MakeLock(const std::string& name,
+                                       const LockOptions& options = LockOptions{});
+
+// Positional-argument form kept for source compatibility.
+[[deprecated("use MakeLock(name, LockOptions{...})")]]
 std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
                                        std::uint32_t max_rot_retries);
 

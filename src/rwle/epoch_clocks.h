@@ -18,6 +18,7 @@
 #include "src/common/thread_registry.h"
 #include "src/htm/htm_runtime.h"
 #include "src/stats/cost_meter.h"
+#include "src/trace/trace_sink.h"
 
 namespace rwle {
 
@@ -54,6 +55,7 @@ class EpochClocks {
   // entering; conflicts with them are caught by the HTM fabric instead.
   void Synchronize() const {
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(CurrentThreadSlot(), this));
+    EmitTraceEvent(HtmRuntime::Global().trace_sink(), TraceEventType::kQuiesceBegin);
     const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
     CostMeter::Global().Charge(2 * CostModel::kClockScanPerThread * n);
     std::uint64_t snapshot[kMaxThreads];
@@ -70,6 +72,7 @@ class EpochClocks {
       }
     }
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceEnd(CurrentThreadSlot(), this));
+    EmitTraceEvent(HtmRuntime::Global().trace_sink(), TraceEventType::kQuiesceEnd);
   }
 
   // Single-traversal variant (paper §3.3, first optimization): valid only
@@ -77,6 +80,8 @@ class EpochClocks {
   // an odd clock can only transition to "out of critical section".
   void SynchronizeBlockedReaders() const {
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(CurrentThreadSlot(), this));
+    EmitTraceEvent(HtmRuntime::Global().trace_sink(), TraceEventType::kQuiesceBegin,
+                   /*detail_a=*/1);  // single-scan variant
     const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
     CostMeter::Global().Charge(CostModel::kClockScanPerThread * n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -90,6 +95,8 @@ class EpochClocks {
       }
     }
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceEnd(CurrentThreadSlot(), this));
+    EmitTraceEvent(HtmRuntime::Global().trace_sink(), TraceEventType::kQuiesceEnd,
+                   /*detail_a=*/1);
   }
 
  private:

@@ -13,6 +13,8 @@
 
 namespace rwle {
 
+class TraceSink;
+
 enum class RwLeVariant : std::uint8_t {
   kOpt = 0,   // optimistic: HTM first
   kPes = 1,   // pessimistic: ROT first, writers serialized
@@ -20,6 +22,18 @@ enum class RwLeVariant : std::uint8_t {
 };
 
 enum class WritePath : std::uint8_t { kHtm = 0, kRot = 1, kNs = 2 };
+
+constexpr const char* WritePathName(WritePath path) {
+  switch (path) {
+    case WritePath::kHtm:
+      return "HTM";
+    case WritePath::kRot:
+      return "ROT";
+    case WritePath::kNs:
+      return "NS";
+  }
+  return "?";
+}
 
 struct RwLePolicy {
   RwLeVariant variant = RwLeVariant::kOpt;
@@ -40,6 +54,10 @@ struct RwLePolicy {
   // only lazily in its commit phase, which lets hardware transactions run
   // concurrently with a ROT writer (profitable when conflicts are rare).
   bool split_rot_ns_locks = false;
+  // Trace destination for this lock's own events (path transitions, reader
+  // stalls). Null = tracing off; not owned. Transaction-level events are
+  // emitted by the HTM runtime via its own sink pointer.
+  TraceSink* trace_sink = nullptr;
 };
 
 // Per-acquisition path state machine.

@@ -16,7 +16,9 @@ void RwLeLock::ReadEnter(std::uint32_t slot) {
     }
     // A non-speculative writer is in (or slipped in): defer to it.
     clocks_.Exit(slot);
+    EmitTraceEvent(policy_.trace_sink, TraceEventType::kReaderBlockBegin);
     wlock_.WaitWhileState(LockState::kNsLocked);
+    EmitTraceEvent(policy_.trace_sink, TraceEventType::kReaderBlockEnd);
   }
 }
 
@@ -34,9 +36,11 @@ void RwLeLock::ReadEnterFair(std::uint32_t slot) {
       return;
     }
     // Wait for this owner to release, then re-copy (the version moved).
+    EmitTraceEvent(policy_.trace_sink, TraceEventType::kReaderBlockBegin);
     while (wlock_.Load() == word) {
       SpinBackoff(spins++);
     }
+    EmitTraceEvent(policy_.trace_sink, TraceEventType::kReaderBlockEnd);
   }
 }
 

@@ -143,7 +143,9 @@ class RwLeLock {
           } catch (const TxAbortException& abort) {
             ++htm_aborts;
             stats_.RecordAbort(abort.kind(), abort.cause());
+            const WritePath before = path.current();
             path.OnAbort(abort.persistent());
+            EmitPathTransition(before, path.current());
           }
           break;
         }
@@ -164,7 +166,9 @@ class RwLeLock {
             ++rot_aborts;
             ReleaseRotPath(held);
             stats_.RecordAbort(abort.kind(), abort.cause());
+            const WritePath before = path.current();
             path.OnAbort(abort.persistent());
+            EmitPathTransition(before, path.current());
           }
           break;
         }
@@ -214,6 +218,13 @@ class RwLeLock {
                       std::uint32_t rot_aborts) {
     if (policy_.adaptive) {
       tuner_.ReportWrite(path, htm_aborts, rot_aborts);
+    }
+  }
+
+  void EmitPathTransition(WritePath from, WritePath to) {
+    if (from != to) {
+      EmitTraceEvent(policy_.trace_sink, TraceEventType::kPathTransition,
+                     static_cast<std::uint8_t>(from), static_cast<std::uint8_t>(to));
     }
   }
 

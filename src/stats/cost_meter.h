@@ -114,6 +114,14 @@ class CostMeter {
     }
   }
 
+  // Total modeled cycles this slot has consumed across all buckets: the
+  // per-thread clock the trace layer stamps events with. Owner-thread read
+  // (or harvest after join); never charges anything itself.
+  std::uint64_t SlotCycles(std::uint32_t slot) const {
+    const Totals& totals = shards_[slot].totals;
+    return totals.parallel + totals.writer_serial + totals.global_serial;
+  }
+
   Totals Aggregate() const {
     Totals totals;
     for (const auto& shard : shards_) {

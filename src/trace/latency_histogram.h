@@ -1,0 +1,124 @@
+// Streaming HDR-style latency histogram: log-linear buckets (each power-of
+// two range split into 16 linear sub-buckets), so any recorded value lands
+// in a bucket whose width is at most 1/16 of its magnitude. Percentile
+// queries therefore carry a bounded relative error of 6.25% -- plenty for
+// p50/p90/p99/p999 of modeled latencies spanning many decades -- at a flat
+// 8 KiB of counters per histogram and O(1) record cost, with no per-sample
+// allocation. Values below 16 are exact (pure linear region).
+#ifndef RWLE_SRC_TRACE_LATENCY_HISTOGRAM_H_
+#define RWLE_SRC_TRACE_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace rwle {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  // Octaves kSubBucketBits..63 each contribute kSubBuckets buckets on top
+  // of the exact linear region [0, kSubBuckets).
+  static constexpr std::uint32_t kBucketCount =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  void Record(std::uint64_t value) {
+    ++counts_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Smallest representable value v such that at least `percentile`% of the
+  // recorded samples are <= v. Reported as the containing bucket's upper
+  // bound (clamped to the exact maximum, which keeps p50<=p90<=...<=max
+  // monotone), so the result is >= the exact order statistic and overshoots
+  // it by at most one bucket width (<= 6.25% relative). The top-rank query
+  // returns the exact maximum.
+  std::uint64_t ValueAtPercentile(double percentile) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    if (percentile <= 0.0) {
+      percentile = 0.0;
+    }
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(percentile / 100.0 * static_cast<double>(count_) + 0.5);
+    if (rank == 0) {
+      rank = 1;
+    }
+    if (rank >= count_) {
+      return max_;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) {
+        const std::uint64_t upper = BucketUpperBound(i);
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+  void Reset() {
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+  static std::uint32_t BucketIndex(std::uint64_t value) {
+    if (value < kSubBuckets) {
+      return static_cast<std::uint32_t>(value);
+    }
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - kSubBucketBits;
+    const std::uint32_t sub =
+        static_cast<std::uint32_t>(value >> shift) & (kSubBuckets - 1);
+    return static_cast<std::uint32_t>(msb - kSubBucketBits + 1) * kSubBuckets + sub;
+  }
+
+  static std::uint64_t BucketUpperBound(std::uint32_t index) {
+    const std::uint32_t octave = index >> kSubBucketBits;
+    const std::uint64_t sub = index & (kSubBuckets - 1);
+    if (octave == 0) {
+      return sub;  // exact linear region
+    }
+    const int msb = static_cast<int>(octave) + kSubBucketBits - 1;
+    const int shift = msb - kSubBucketBits;
+    const std::uint64_t low = (std::uint64_t{kSubBuckets} + sub) << shift;
+    return low + ((std::uint64_t{1} << shift) - 1);
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_ = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_TRACE_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,120 @@
+// Per-thread latency accounting for lock operations: one histogram per
+// (op kind, commit path) pair, sharded by thread slot exactly like
+// StatsRegistry so recording is an unsynchronized owner-thread write.
+// Shards are allocated lazily by the first Record of each slot (a shard is
+// ~64 KiB of histogram counters; most of the 128 slots never run).
+// Snapshot/Reset are harvest-time operations: the harness calls them when
+// no worker threads are live.
+#ifndef RWLE_SRC_TRACE_LATENCY_REGISTRY_H_
+#define RWLE_SRC_TRACE_LATENCY_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/thread_registry.h"
+#include "src/stats/stats.h"
+#include "src/trace/latency_histogram.h"
+#include "src/trace/trace_event.h"
+
+namespace rwle {
+
+// Summary of one histogram, in modeled cycles (= nanoseconds, see
+// CostModel::kCyclesPerSecond). Small enough to embed in every RunResult,
+// unlike the 8 KiB histogram it is computed from.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+};
+
+// Harvested view of a LatencyRegistry: per-op totals plus the per-path
+// breakdown (e.g. how much slower a write that fell back to the serial
+// lock was than one that committed in HTM).
+struct LatencySnapshot {
+  LatencyStats op[kOpKindCount];
+  LatencyStats by_path[kOpKindCount][kCommitPathCount];
+};
+
+class LatencyRegistry {
+ public:
+  LatencyRegistry() = default;
+  LatencyRegistry(const LatencyRegistry&) = delete;
+  LatencyRegistry& operator=(const LatencyRegistry&) = delete;
+  ~LatencyRegistry() {
+    for (auto& shard : shards_) {
+      delete shard.load(std::memory_order_acquire);
+    }
+  }
+
+  // Owner-thread write; allocates this slot's shard on first use.
+  void Record(std::uint32_t slot, OpKind op, CommitPath path, std::uint64_t cycles) {
+    Shard* shard = shards_[slot].load(std::memory_order_relaxed);
+    if (shard == nullptr) {
+      shard = new Shard();
+      shards_[slot].store(shard, std::memory_order_release);
+    }
+    shard->hist[static_cast<int>(op)][static_cast<int>(path)].Record(cycles);
+  }
+
+  // Merges all shards and summarizes. Call only while no thread is
+  // recording (between runs).
+  LatencySnapshot Snapshot() const {
+    LatencySnapshot snapshot;
+    for (int op = 0; op < kOpKindCount; ++op) {
+      LatencyHistogram overall;
+      for (int path = 0; path < kCommitPathCount; ++path) {
+        LatencyHistogram merged;
+        for (const auto& entry : shards_) {
+          if (const Shard* shard = entry.load(std::memory_order_acquire)) {
+            merged.Merge(shard->hist[op][path]);
+          }
+        }
+        snapshot.by_path[op][path] = Summarize(merged);
+        overall.Merge(merged);
+      }
+      snapshot.op[op] = Summarize(overall);
+    }
+    return snapshot;
+  }
+
+  // Clears all counters (shards stay allocated). Same caveat as Snapshot.
+  void Reset() {
+    for (auto& entry : shards_) {
+      if (Shard* shard = entry.load(std::memory_order_acquire)) {
+        for (auto& per_op : shard->hist) {
+          for (auto& hist : per_op) {
+            hist.Reset();
+          }
+        }
+      }
+    }
+  }
+
+  static LatencyStats Summarize(const LatencyHistogram& hist) {
+    LatencyStats stats;
+    stats.count = hist.count();
+    stats.mean = hist.Mean();
+    stats.p50 = hist.ValueAtPercentile(50.0);
+    stats.p90 = hist.ValueAtPercentile(90.0);
+    stats.p99 = hist.ValueAtPercentile(99.0);
+    stats.p999 = hist.ValueAtPercentile(99.9);
+    stats.max = hist.max();
+    return stats;
+  }
+
+ private:
+  struct Shard {
+    LatencyHistogram hist[kOpKindCount][kCommitPathCount];
+  };
+
+  std::atomic<Shard*> shards_[kMaxThreads] = {};
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_TRACE_LATENCY_REGISTRY_H_

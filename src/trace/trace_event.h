@@ -1,0 +1,99 @@
+// The transaction-lifecycle event taxonomy of the trace subsystem
+// (DESIGN.md §8): everything a scheme does that the paper's §4 narrative
+// talks about -- speculation attempts, aborts with their cause, path
+// demotions HTM -> ROT -> lock, quiescence barriers and reader stalls --
+// becomes one fixed-size event stamped with *modeled* time (CostMeter
+// cycles, 1 cycle = 1 ns), so traces line up with the modeled-throughput
+// numbers rather than with host wall clock.
+#ifndef RWLE_SRC_TRACE_TRACE_EVENT_H_
+#define RWLE_SRC_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+
+namespace rwle {
+
+// Which lock operation a latency sample / kOpEnd event belongs to.
+enum class OpKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+inline constexpr int kOpKindCount = 2;
+
+constexpr const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+enum class TraceEventType : std::uint8_t {
+  // Transaction lifecycle, emitted by the HTM runtime. detail_a = TxKind.
+  kTxBegin = 0,
+  kTxCommit = 1,
+  kTxAbort = 2,    // detail_b = AbortCause
+  kTxSuspend = 3,  // POWER8 tsuspend. (RW-LE's escape-action quiescence)
+  kTxResume = 4,
+  // Writer-side quiescence barrier (EpochClocks::Synchronize*).
+  // detail_a = 1 for the single-scan blocked-readers variant.
+  kQuiesceBegin = 5,
+  kQuiesceEnd = 6,
+  // Reader blocked on a non-speculative writer (RwLeLock::ReadEnter*).
+  kReaderBlockBegin = 7,
+  kReaderBlockEnd = 8,
+  // Write-path demotion. detail_a = from, detail_b = to (WritePath values).
+  kPathTransition = 9,
+  // One completed lock operation, emitted by LockAdapter at its end.
+  // detail_a = OpKind, detail_b = CommitPath, arg = latency in cycles.
+  kOpEnd = 10,
+};
+inline constexpr int kTraceEventTypeCount = 11;
+
+constexpr const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTxBegin:
+      return "tx-begin";
+    case TraceEventType::kTxCommit:
+      return "tx-commit";
+    case TraceEventType::kTxAbort:
+      return "tx-abort";
+    case TraceEventType::kTxSuspend:
+      return "tsuspend";
+    case TraceEventType::kTxResume:
+      return "tresume";
+    case TraceEventType::kQuiesceBegin:
+      return "quiesce-begin";
+    case TraceEventType::kQuiesceEnd:
+      return "quiesce-end";
+    case TraceEventType::kReaderBlockBegin:
+      return "reader-block-begin";
+    case TraceEventType::kReaderBlockEnd:
+      return "reader-block-end";
+    case TraceEventType::kPathTransition:
+      return "path-transition";
+    case TraceEventType::kOpEnd:
+      return "op-end";
+  }
+  return "?";
+}
+
+// One fixed-size trace record. 32 bytes so a per-thread ring of 2^14
+// events costs 512 KiB; producers fill everything except seq and run_id,
+// which the sink stamps (see trace_sink.h).
+struct TraceEvent {
+  std::uint64_t timestamp = 0;  // modeled cycles of the emitting thread
+  std::uint64_t arg = 0;        // type-specific payload (kOpEnd: latency)
+  std::uint32_t seq = 0;        // per-lane sequence number (sink-stamped)
+  std::uint32_t run_id = 0;     // benchmark-run index (sink-stamped)
+  TraceEventType type = TraceEventType::kTxBegin;
+  std::uint8_t thread_slot = 0;  // kMaxThreads = 128 fits
+  std::uint8_t detail_a = 0;     // type-specific, see TraceEventType
+  std::uint8_t detail_b = 0;
+};
+static_assert(sizeof(TraceEvent) <= 32, "TraceEvent grew past one half line");
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_TRACE_TRACE_EVENT_H_

@@ -1,0 +1,283 @@
+#include "src/trace/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/common/json_writer.h"
+#include "src/htm/abort.h"
+#include "src/rwle/path_policy.h"
+#include "src/stats/stats.h"
+
+namespace rwle {
+namespace {
+
+// Modeled cycles -> trace microseconds (Chrome's ts unit).
+double CyclesToMicros(std::uint64_t cycles) {
+  return static_cast<double>(cycles) * (1e6 / CostModel::kCyclesPerSecond);
+}
+
+// Opens one trace-event object and writes the fields every phase shares.
+// The caller adds ts/dur/s/args and closes the object.
+void BeginEvent(JsonWriter& json, const char* ph, std::string_view name,
+                std::uint32_t pid, std::uint32_t tid) {
+  json.BeginObject();
+  json.Field("name", name);
+  json.Field("ph", ph);
+  json.Field("pid", std::uint64_t{pid});
+  json.Field("tid", std::uint64_t{tid});
+}
+
+std::string RunLabel(const MemoryTraceSink& sink, std::uint32_t run) {
+  if (run >= sink.runs().size()) {
+    return "run " + std::to_string(run);  // events emitted before BeginRun
+  }
+  const MemoryTraceSink::RunInfo& info = sink.runs()[run];
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), " panel=%g threads=%u", info.panel_value,
+                info.threads);
+  const std::string head =
+      info.scenario.empty() ? info.scheme : info.scenario + " " + info.scheme;
+  return head + suffix;
+}
+
+const char* TxSpanName(std::uint8_t kind) {
+  return static_cast<TxKind>(kind) == TxKind::kRot ? "tx:ROT" : "tx:HTM";
+}
+
+// Pairing state of one lane while scanning its events in order. Each span
+// kind is non-reentrant per thread by construction (no nested transactions,
+// one quiescence barrier at a time), so a single open record per kind
+// suffices.
+struct OpenSpans {
+  bool tx_open = false;
+  std::uint64_t tx_start = 0;
+  std::uint8_t tx_kind = 0;
+  bool quiesce_open = false;
+  std::uint64_t quiesce_start = 0;
+  std::uint8_t quiesce_single_scan = 0;
+  bool reader_open = false;
+  std::uint64_t reader_start = 0;
+};
+
+class LaneExporter {
+ public:
+  LaneExporter(JsonWriter& json, std::uint32_t slot) : json_(json), tid_(slot) {}
+
+  void Consume(const TraceEvent& event) {
+    if (!have_run_ || event.run_id != run_) {
+      // Runs never share in-flight spans (workers join between runs), so a
+      // run switch mid-lane only discards spans truncated by ring wrap.
+      open_ = OpenSpans{};
+      run_ = event.run_id;
+      have_run_ = true;
+    }
+    const std::uint32_t pid = run_ + 1;
+    switch (event.type) {
+      case TraceEventType::kTxBegin:
+        open_.tx_open = true;
+        open_.tx_start = event.timestamp;
+        open_.tx_kind = event.detail_a;
+        break;
+      case TraceEventType::kTxCommit:
+        if (open_.tx_open) {
+          Complete(TxSpanName(open_.tx_kind), pid, open_.tx_start, event.timestamp,
+                   [&] { json_.Field("outcome", "commit"); });
+          open_.tx_open = false;
+        } else {
+          ++unpaired_;
+        }
+        break;
+      case TraceEventType::kTxAbort: {
+        const char* cause = AbortCauseName(static_cast<AbortCause>(event.detail_b));
+        if (open_.tx_open) {
+          Complete(TxSpanName(open_.tx_kind), pid, open_.tx_start, event.timestamp, [&] {
+            json_.Field("outcome", "abort");
+            json_.Field("cause", cause);
+          });
+          open_.tx_open = false;
+        }
+        // Aborts additionally get an instant marker so they stand out as a
+        // vertical tick even when the attempt span is a sliver.
+        Instant(std::string("abort:") + cause, pid, event.timestamp, [&] {
+          json_.Field("tx", TxSpanName(event.detail_a) + 3);  // skip "tx:"
+          json_.Field("cause", cause);
+        });
+        break;
+      }
+      case TraceEventType::kTxSuspend:
+        Instant("tsuspend", pid, event.timestamp, [] {});
+        break;
+      case TraceEventType::kTxResume:
+        Instant("tresume", pid, event.timestamp, [] {});
+        break;
+      case TraceEventType::kQuiesceBegin:
+        open_.quiesce_open = true;
+        open_.quiesce_start = event.timestamp;
+        open_.quiesce_single_scan = event.detail_a;
+        break;
+      case TraceEventType::kQuiesceEnd:
+        if (open_.quiesce_open) {
+          Complete("quiesce", pid, open_.quiesce_start, event.timestamp, [&] {
+            json_.Field("single_scan", open_.quiesce_single_scan != 0);
+          });
+          open_.quiesce_open = false;
+        } else {
+          ++unpaired_;
+        }
+        break;
+      case TraceEventType::kReaderBlockBegin:
+        open_.reader_open = true;
+        open_.reader_start = event.timestamp;
+        break;
+      case TraceEventType::kReaderBlockEnd:
+        if (open_.reader_open) {
+          Complete("reader-wait", pid, open_.reader_start, event.timestamp, [] {});
+          open_.reader_open = false;
+        } else {
+          ++unpaired_;
+        }
+        break;
+      case TraceEventType::kPathTransition: {
+        const char* from = WritePathName(static_cast<WritePath>(event.detail_a));
+        const char* to = WritePathName(static_cast<WritePath>(event.detail_b));
+        Instant(std::string("path:") + from + "->" + to, pid, event.timestamp, [&] {
+          json_.Field("from", from);
+          json_.Field("to", to);
+        });
+        break;
+      }
+      case TraceEventType::kOpEnd: {
+        const char* name = OpKindName(static_cast<OpKind>(event.detail_a));
+        const std::uint64_t start = event.timestamp - event.arg;
+        Complete(name, pid, start, event.timestamp, [&] {
+          json_.Field("path", CommitPathKey(static_cast<CommitPath>(event.detail_b)));
+          json_.Field("latency_ns", event.arg);
+        });
+        break;
+      }
+    }
+  }
+
+  std::uint64_t unpaired() const { return unpaired_; }
+
+ private:
+  template <typename ArgsFn>
+  void Complete(std::string_view name, std::uint32_t pid, std::uint64_t start,
+                std::uint64_t end, ArgsFn&& args) {
+    BeginEvent(json_, "X", name, pid, tid_);
+    json_.Field("ts", CyclesToMicros(start));
+    json_.Field("dur", CyclesToMicros(end >= start ? end - start : 0));
+    json_.Key("args");
+    json_.BeginObject();
+    args();
+    json_.EndObject();
+    json_.EndObject();
+  }
+
+  template <typename ArgsFn>
+  void Instant(std::string_view name, std::uint32_t pid, std::uint64_t timestamp,
+               ArgsFn&& args) {
+    BeginEvent(json_, "i", name, pid, tid_);
+    json_.Field("ts", CyclesToMicros(timestamp));
+    json_.Field("s", "t");  // thread-scoped instant
+    json_.Key("args");
+    json_.BeginObject();
+    args();
+    json_.EndObject();
+    json_.EndObject();
+  }
+
+  JsonWriter& json_;
+  std::uint32_t tid_;
+  OpenSpans open_;
+  std::uint32_t run_ = 0;
+  bool have_run_ = false;
+  std::uint64_t unpaired_ = 0;
+};
+
+}  // namespace
+
+std::ostream& WriteChromeTrace(std::ostream& os, const MemoryTraceSink& sink) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("displayTimeUnit", "ns");
+  json.Key("traceEvents");
+  json.BeginArray();
+
+  // Metadata first: name every (run, lane) pair that has events.
+  std::set<std::uint32_t> run_ids;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;  // (run, slot)
+  for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
+    sink.ForEachLaneEvent(slot, [&](const TraceEvent& event) {
+      run_ids.insert(event.run_id);
+      lanes.insert({event.run_id, slot});
+    });
+  }
+  for (const std::uint32_t run : run_ids) {
+    const std::uint32_t pid = run + 1;
+    BeginEvent(json, "M", "process_name", pid, 0);
+    json.Key("args");
+    json.BeginObject();
+    json.Field("name", RunLabel(sink, run));
+    json.EndObject();
+    json.EndObject();
+    BeginEvent(json, "M", "process_sort_index", pid, 0);
+    json.Key("args");
+    json.BeginObject();
+    json.Field("sort_index", std::uint64_t{run});
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const auto& [run, slot] : lanes) {
+    BeginEvent(json, "M", "thread_name", run + 1, slot);
+    json.Key("args");
+    json.BeginObject();
+    json.Field("name", "worker " + std::to_string(slot));
+    json.EndObject();
+    json.EndObject();
+  }
+
+  std::uint64_t unpaired = 0;
+  for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
+    if (!sink.HasLane(slot)) {
+      continue;
+    }
+    LaneExporter exporter(json, slot);
+    sink.ForEachLaneEvent(slot, [&](const TraceEvent& event) { exporter.Consume(event); });
+    unpaired += exporter.unpaired();
+  }
+
+  json.EndArray();
+  json.Key("otherData");
+  json.BeginObject();
+  json.Field("generator", "rwle_bench");
+  json.Field("clock", "modeled cycles (1 cycle = 1 ns)");
+  json.Field("total_events", sink.TotalEvents());
+  json.Field("dropped_events", sink.DroppedEvents());
+  // Span ends whose begin was overwritten by ring wraparound.
+  json.Field("unpaired_span_ends", unpaired);
+  json.Field("runs", std::uint64_t{sink.runs().size()});
+  json.EndObject();
+  json.EndObject();
+  return os;
+}
+
+bool WriteChromeTraceFile(const std::string& path, const MemoryTraceSink& sink) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  WriteChromeTrace(out, sink);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rwle

@@ -1,0 +1,30 @@
+// Exports a MemoryTraceSink as Chrome trace_event JSON ("JSON Array
+// Format" with the traceEvents wrapper object), viewable in Perfetto or
+// chrome://tracing. Mapping:
+//   - pid = run id + 1: each benchmark run (scheme, panel, threads cell)
+//     becomes its own "process", named via metadata events. Modeled clocks
+//     reset between runs, so runs must not share a timeline.
+//   - tid = thread slot: one lane per modeled thread.
+//   - ts/dur in microseconds of *modeled* time (1 cycle = 1 ns).
+//   - spans (tx attempts, quiescence barriers, reader stalls, whole lock
+//     operations) are complete "X" events paired up from begin/end records;
+//     aborts, path demotions and suspend/resume are instant "i" markers.
+#ifndef RWLE_SRC_TRACE_TRACE_EXPORT_H_
+#define RWLE_SRC_TRACE_TRACE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/trace/trace_sink.h"
+
+namespace rwle {
+
+std::ostream& WriteChromeTrace(std::ostream& os, const MemoryTraceSink& sink);
+
+// Convenience wrapper; returns false (with a message on stderr) when the
+// file cannot be written.
+bool WriteChromeTraceFile(const std::string& path, const MemoryTraceSink& sink);
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_TRACE_TRACE_EXPORT_H_

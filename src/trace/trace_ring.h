@@ -1,0 +1,62 @@
+// Single-writer event ring buffer: one per thread slot (a "lane"), written
+// only by the owning thread, read only after the run's workers have joined
+// (the join supplies the happens-before edge). Overwrites the oldest events
+// on wrap so a trace always holds the *end* of a run -- the part where the
+// interesting fallbacks usually happen -- and keeps a drop count so the
+// exporter can say what was lost.
+#ifndef RWLE_SRC_TRACE_TRACE_RING_H_
+#define RWLE_SRC_TRACE_TRACE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace rwle {
+
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two (masking beats modulo on the
+  // hot path); minimum 2.
+  explicit TraceRing(std::size_t capacity) {
+    std::size_t rounded = 2;
+    while (rounded < capacity) {
+      rounded <<= 1;
+    }
+    events_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  void Push(const TraceEvent& event) {
+    events_[static_cast<std::size_t>(pushed_) & mask_] = event;
+    ++pushed_;
+  }
+
+  std::size_t capacity() const { return events_.size(); }
+  std::uint64_t pushed() const { return pushed_; }
+  std::size_t size() const {
+    return pushed_ < events_.size() ? static_cast<std::size_t>(pushed_) : events_.size();
+  }
+  std::uint64_t dropped() const {
+    return pushed_ > events_.size() ? pushed_ - events_.size() : 0;
+  }
+
+  // Visits the retained events oldest to newest.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::uint64_t first = dropped();
+    for (std::uint64_t i = first; i < pushed_; ++i) {
+      fn(events_[static_cast<std::size_t>(i) & mask_]);
+    }
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t mask_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_TRACE_TRACE_RING_H_

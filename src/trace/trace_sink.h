@@ -1,0 +1,161 @@
+// TraceSink: where emit sites hand their events. The contract that keeps
+// tracing free when off: every emit site calls EmitTraceEvent with a sink
+// pointer that is null in the default configuration, so the whole hook
+// reduces to one pointer test with a statically predictable branch -- no
+// timestamp read, no event construction, no virtual call. The overhead
+// budget (<5% modeled throughput, gated in CI by tools/bench_compare.py)
+// is in fact 0% by construction for *modeled* time: tracing never calls
+// CostMeter::Charge, it only reads the per-slot clocks.
+//
+// MemoryTraceSink is the production implementation: lazily allocated
+// per-thread lock-free rings (see trace_ring.h), plus a run table so the
+// Chrome exporter can label each benchmark run.
+#ifndef RWLE_SRC_TRACE_TRACE_SINK_H_
+#define RWLE_SRC_TRACE_TRACE_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_registry.h"
+#include "src/stats/cost_meter.h"
+#include "src/trace/trace_event.h"
+#include "src/trace/trace_ring.h"
+
+namespace rwle {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Called by the emitting thread with everything filled in but seq and
+  // run_id (the sink stamps those). Must be safe to call concurrently from
+  // all registered threads.
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+// The one emit helper every hook site uses. `sink == nullptr` is the
+// tracing-off fast path and the branch predictor's steady state.
+inline void EmitTraceEvent(TraceSink* sink, TraceEventType type,
+                           std::uint8_t detail_a = 0, std::uint8_t detail_b = 0,
+                           std::uint64_t arg = 0) {
+  if (sink == nullptr) [[likely]] {
+    return;
+  }
+  const std::uint32_t slot = CurrentThreadSlot();
+  if (slot == kInvalidThreadSlot) {
+    return;
+  }
+  TraceEvent event;
+  event.timestamp = CostMeter::Global().SlotCycles(slot);
+  event.type = type;
+  event.thread_slot = static_cast<std::uint8_t>(slot);
+  event.detail_a = detail_a;
+  event.detail_b = detail_b;
+  event.arg = arg;
+  sink->Emit(event);
+}
+
+// Collects events into one ring per thread slot. Lanes are allocated by
+// the first event of each slot; run labeling (set_scenario / BeginRun) is
+// driver-side and must happen between runs, when no worker is emitting.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  static constexpr std::size_t kDefaultLaneCapacity = std::size_t{1} << 14;
+
+  struct RunInfo {
+    std::string scenario;
+    std::string scheme;
+    double panel_value = 0.0;
+    std::uint32_t threads = 0;
+  };
+
+  explicit MemoryTraceSink(std::size_t lane_capacity = kDefaultLaneCapacity)
+      : lane_capacity_(lane_capacity) {}
+
+  ~MemoryTraceSink() override {
+    for (auto& lane : lanes_) {
+      delete lane.load(std::memory_order_acquire);
+    }
+  }
+
+  MemoryTraceSink(const MemoryTraceSink&) = delete;
+  MemoryTraceSink& operator=(const MemoryTraceSink&) = delete;
+
+  void Emit(const TraceEvent& event) override {
+    Lane* lane = lanes_[event.thread_slot].load(std::memory_order_relaxed);
+    if (lane == nullptr) {
+      lane = new Lane(lane_capacity_);
+      lanes_[event.thread_slot].store(lane, std::memory_order_release);
+    }
+    TraceEvent stamped = event;
+    stamped.seq = lane->next_seq++;
+    stamped.run_id = current_run_.load(std::memory_order_relaxed);
+    lane->ring.Push(stamped);
+  }
+
+  // Scenario name prefixed to every subsequent run label.
+  void set_scenario(std::string scenario) { scenario_ = std::move(scenario); }
+  // Starts a new labeled run; events emitted from here on carry its id.
+  std::uint32_t BeginRun(const std::string& scheme, double panel_value,
+                         std::uint32_t threads) {
+    runs_.push_back(RunInfo{scenario_, scheme, panel_value, threads});
+    const std::uint32_t id = static_cast<std::uint32_t>(runs_.size() - 1);
+    current_run_.store(id, std::memory_order_relaxed);
+    return id;
+  }
+
+  const std::vector<RunInfo>& runs() const { return runs_; }
+
+  bool HasLane(std::uint32_t slot) const {
+    return lanes_[slot].load(std::memory_order_acquire) != nullptr;
+  }
+
+  // Visits the lane's retained events oldest to newest; no-op for slots
+  // that never emitted.
+  template <typename Fn>
+  void ForEachLaneEvent(std::uint32_t slot, Fn&& fn) const {
+    if (const Lane* lane = lanes_[slot].load(std::memory_order_acquire)) {
+      lane->ring.ForEach(fn);
+    }
+  }
+
+  std::uint64_t TotalEvents() const {
+    std::uint64_t total = 0;
+    for (const auto& entry : lanes_) {
+      if (const Lane* lane = entry.load(std::memory_order_acquire)) {
+        total += lane->ring.pushed();
+      }
+    }
+    return total;
+  }
+
+  std::uint64_t DroppedEvents() const {
+    std::uint64_t total = 0;
+    for (const auto& entry : lanes_) {
+      if (const Lane* lane = entry.load(std::memory_order_acquire)) {
+        total += lane->ring.dropped();
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Lane {
+    explicit Lane(std::size_t capacity) : ring(capacity) {}
+    TraceRing ring;
+    std::uint32_t next_seq = 0;
+  };
+
+  const std::size_t lane_capacity_;
+  std::atomic<Lane*> lanes_[kMaxThreads] = {};
+  std::atomic<std::uint32_t> current_run_{0};
+  std::string scenario_;
+  std::vector<RunInfo> runs_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_TRACE_TRACE_SINK_H_

@@ -140,6 +140,53 @@ TEST(BenchHarnessTest, RwLeWorkGetsRealStats) {
   EXPECT_GT(result.cost.parallel, 0u);
 }
 
+// The ElidableLock overload of RunBenchmark snapshots the lock's latency
+// registry into the result (and resets it first, so back-to-back runs do
+// not bleed into each other).
+TEST(BenchHarnessTest, LockOverloadPopulatesLatencyPercentiles) {
+  auto lock = MakeLock("rwle-opt");
+  TxVar<std::uint64_t> cell(0);
+  RunOptions options;
+  options.threads = 2;
+  options.total_ops = 400;
+  options.write_ratio = 0.25;
+
+  const auto op = [&](std::uint32_t, Rng&, bool is_write) {
+    if (is_write) {
+      lock->Write([&] { cell.Store(cell.Load() + 1); });
+    } else {
+      lock->Read([&] { (void)cell.Load(); });
+    }
+  };
+  const RunResult result = RunBenchmark(options, *lock, op);
+
+  const LatencyStats& read = result.latency.op[static_cast<int>(OpKind::kRead)];
+  const LatencyStats& write = result.latency.op[static_cast<int>(OpKind::kWrite)];
+  EXPECT_EQ(read.count + write.count, 400u);
+  EXPECT_GT(read.count, 0u);
+  EXPECT_GT(write.count, 0u);
+  EXPECT_GT(read.max, 0u);
+  EXPECT_LE(read.p50, read.p90);
+  EXPECT_LE(read.p90, read.p99);
+  EXPECT_LE(read.p99, read.p999);
+  EXPECT_LE(read.p999, read.max);
+  EXPECT_LE(write.p50, write.p90);
+  EXPECT_LE(write.p999, write.max);
+  // Every recorded sample is attributed to some commit path.
+  std::uint64_t by_path = 0;
+  for (int path = 0; path < kCommitPathCount; ++path) {
+    by_path += result.latency.by_path[static_cast<int>(OpKind::kRead)][path].count;
+    by_path += result.latency.by_path[static_cast<int>(OpKind::kWrite)][path].count;
+  }
+  EXPECT_EQ(by_path, 400u);
+
+  // A second run through the same lock starts from a clean registry.
+  const RunResult again = RunBenchmark(options, *lock, op);
+  EXPECT_EQ(again.latency.op[static_cast<int>(OpKind::kRead)].count +
+                again.latency.op[static_cast<int>(OpKind::kWrite)].count,
+            400u);
+}
+
 TEST(FigureReportTest, RendersAllPanels) {
   FigureReport report("Figure X", "write locks %");
   RunResult result;

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "src/harness/json_writer.h"
+#include "src/common/json_writer.h"
 
 namespace rwle {
 namespace {
@@ -442,6 +442,80 @@ TEST(ResultSerializerTest, RunResultRoundTrips) {
   EXPECT_EQ(second.At("scheme").AsString(), "hle");
   EXPECT_EQ(second.At("panel_value").AsDouble(), 90.0);
   EXPECT_EQ(second.At("threads").AsUint(), 4u);
+}
+
+// Latency blocks: omitted entirely for runs that recorded none (so legacy
+// consumers see an unchanged document), and round-tripping count/mean and
+// the percentile ladder per op and per commit path when present.
+TEST(ResultSerializerTest, LatencyBlockIsOmittedWhenEmpty) {
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 10.0, TestResult(2));  // TestResult records no latency
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  EXPECT_FALSE(first.Has("latency"));
+}
+
+TEST(ResultSerializerTest, LatencyBlockRoundTrips) {
+  RunResult result = TestResult(2);
+  LatencyStats& read = result.latency.op[static_cast<int>(OpKind::kRead)];
+  read.count = 1700;
+  read.mean = 210.5;
+  read.p50 = 200;
+  read.p90 = 340;
+  read.p99 = 390;
+  read.p999 = 401;
+  read.max = 402;
+  LatencyStats& write = result.latency.op[static_cast<int>(OpKind::kWrite)];
+  write.count = 300;
+  write.mean = 415.0;
+  write.p50 = 410;
+  write.p90 = 500;
+  write.p99 = 590;
+  write.p999 = 595;
+  write.max = 595;
+  // Per-path breakdown: reads all uninstrumented, writes split HTM/serial.
+  result.latency.by_path[static_cast<int>(OpKind::kRead)]
+                        [static_cast<int>(CommitPath::kUninstrumentedRead)] = read;
+  LatencyStats htm_writes = write;
+  htm_writes.count = 250;
+  result.latency.by_path[static_cast<int>(OpKind::kWrite)]
+                        [static_cast<int>(CommitPath::kHtm)] = htm_writes;
+  LatencyStats serial_writes = write;
+  serial_writes.count = 50;
+  result.latency.by_path[static_cast<int>(OpKind::kWrite)]
+                        [static_cast<int>(CommitPath::kSerial)] = serial_writes;
+
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 10.0, result);
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+
+  const JsonValue& latency =
+      doc->At("scenarios").items[0]->At("results").items[0]->At("latency");
+  EXPECT_EQ(latency.At("read").At("count").AsUint(), 1700u);
+  EXPECT_EQ(latency.At("read").At("mean_ns").AsDouble(), 210.5);
+  EXPECT_EQ(latency.At("read").At("p50_ns").AsUint(), 200u);
+  EXPECT_EQ(latency.At("read").At("p90_ns").AsUint(), 340u);
+  EXPECT_EQ(latency.At("read").At("p99_ns").AsUint(), 390u);
+  EXPECT_EQ(latency.At("read").At("p999_ns").AsUint(), 401u);
+  EXPECT_EQ(latency.At("read").At("max_ns").AsUint(), 402u);
+  EXPECT_EQ(latency.At("write").At("count").AsUint(), 300u);
+  EXPECT_EQ(latency.At("write").At("p999_ns").AsUint(), 595u);
+
+  // Paths with zero samples are omitted from the breakdown.
+  const JsonValue& read_paths = latency.At("read_paths");
+  EXPECT_TRUE(read_paths.Has("uninstrumented_read"));
+  EXPECT_FALSE(read_paths.Has("htm"));
+  EXPECT_EQ(read_paths.At("uninstrumented_read").At("count").AsUint(), 1700u);
+  const JsonValue& write_paths = latency.At("write_paths");
+  EXPECT_EQ(write_paths.At("htm").At("count").AsUint(), 250u);
+  EXPECT_EQ(write_paths.At("serial").At("count").AsUint(), 50u);
+  EXPECT_FALSE(write_paths.Has("rot"));
 }
 
 TEST(ResultSerializerTest, MultipleScenariosKeepOrder) {

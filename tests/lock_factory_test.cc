@@ -1,0 +1,154 @@
+// Drift tests for the lock factory and the LockOptions construction API:
+// the scheme registry, the default sweep set, name round-tripping through
+// the adapter, and option propagation into the concrete locks.
+#include "src/locks/lock_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/common/thread_registry.h"
+#include "src/locks/elidable_lock.h"
+#include "src/rwle/rwle_lock.h"
+#include "src/trace/trace_sink.h"
+
+namespace rwle {
+namespace {
+
+// The default sweep set (the six schemes the paper's figures compare) must
+// stay a subset of the full registry backing --list-schemes, or a figure
+// sweep could name a scheme the factory cannot build.
+TEST(LockFactoryTest, DefaultSweepIsSubsetOfAllSchemes) {
+  std::set<std::string> known;
+  for (const SchemeInfo& scheme : AllSchemes()) {
+    EXPECT_NE(scheme.name, nullptr);
+    EXPECT_NE(scheme.description, nullptr);
+    EXPECT_STRNE(scheme.description, "");
+    EXPECT_TRUE(known.insert(scheme.name).second)
+        << "duplicate scheme: " << scheme.name;
+  }
+  for (const std::string& name : AllLockNames()) {
+    EXPECT_TRUE(known.count(name) > 0)
+        << "default sweep scheme missing from AllSchemes(): " << name;
+  }
+}
+
+TEST(LockFactoryTest, EverySchemeConstructsAndKeepsItsName) {
+  for (const SchemeInfo& scheme : AllSchemes()) {
+    auto lock = MakeLock(scheme.name);
+    ASSERT_NE(lock, nullptr) << scheme.name;
+    EXPECT_EQ(lock->name(), scheme.name);
+  }
+}
+
+TEST(LockFactoryTest, UnknownNamesReturnNull) {
+  EXPECT_EQ(MakeLock("bogus"), nullptr);
+  EXPECT_EQ(MakeLock(""), nullptr);
+  EXPECT_EQ(MakeLock("RWLE-OPT"), nullptr);  // names are case-sensitive
+}
+
+// LockOptions must actually reach the constructed lock, not just compile:
+// retry budgets, the quiescence mode and the trace sink all land in the
+// RwLePolicy of an RW-LE scheme.
+TEST(LockFactoryTest, OptionsPropagateIntoRwLePolicy) {
+  MemoryTraceSink sink(16);
+  LockOptions options;
+  options.max_htm_retries = 7;
+  options.max_rot_retries = 3;
+  options.single_scan_ns_sync = false;
+  options.trace_sink = &sink;
+
+  auto lock = MakeLock("rwle-opt", options);
+  ASSERT_NE(lock, nullptr);
+  auto* adapter = dynamic_cast<LockAdapter<RwLeLock>*>(lock.get());
+  ASSERT_NE(adapter, nullptr);
+  const RwLePolicy& policy = adapter->lock().policy();
+  EXPECT_EQ(policy.variant, RwLeVariant::kOpt);
+  EXPECT_EQ(policy.max_htm_retries, 7u);
+  EXPECT_EQ(policy.max_rot_retries, 3u);
+  EXPECT_FALSE(policy.single_scan_ns_sync);
+  EXPECT_EQ(policy.trace_sink, &sink);
+}
+
+TEST(LockFactoryTest, VariantSchemesConfigureTheirPolicies) {
+  const struct {
+    const char* name;
+    RwLeVariant variant;
+    bool use_rot;
+    bool split;
+    bool adaptive;
+  } cases[] = {
+      {"rwle-opt", RwLeVariant::kOpt, true, false, false},
+      {"rwle-pes", RwLeVariant::kPes, true, false, false},
+      {"rwle-fair", RwLeVariant::kFair, false, false, false},
+      {"rwle-norot", RwLeVariant::kOpt, false, false, false},
+      {"rwle-split", RwLeVariant::kOpt, true, true, false},
+      {"rwle-adaptive", RwLeVariant::kOpt, true, false, true},
+  };
+  for (const auto& expected : cases) {
+    auto lock = MakeLock(expected.name);
+    ASSERT_NE(lock, nullptr) << expected.name;
+    auto* adapter = dynamic_cast<LockAdapter<RwLeLock>*>(lock.get());
+    ASSERT_NE(adapter, nullptr) << expected.name;
+    const RwLePolicy& policy = adapter->lock().policy();
+    EXPECT_EQ(policy.variant, expected.variant) << expected.name;
+    EXPECT_EQ(policy.use_rot, expected.use_rot) << expected.name;
+    EXPECT_EQ(policy.split_rot_ns_locks, expected.split) << expected.name;
+    EXPECT_EQ(policy.adaptive, expected.adaptive) << expected.name;
+  }
+}
+
+// Retry budgets are observable in behavior, not only in the stored policy:
+// with max_htm_retries = 0 the OPT variant starts writers on the demoted
+// path, so no scheme-level HTM commit can occur.
+TEST(LockFactoryTest, ZeroRetryBudgetSkipsHtmPath) {
+  LockOptions options;
+  options.max_htm_retries = 0;
+  options.max_rot_retries = 0;
+  auto lock = MakeLock("rwle-opt", options);
+  ASSERT_NE(lock, nullptr);
+
+  ScopedThreadSlot slot;
+  for (int i = 0; i < 10; ++i) {
+    lock->Write([] {});
+  }
+  const ThreadStats& stats = lock->stats().Local();
+  EXPECT_EQ(stats.commits[static_cast<int>(CommitPath::kHtm)], 0u);
+  EXPECT_EQ(stats.commits[static_cast<int>(CommitPath::kSerial)], 10u);
+}
+
+// The single-argument form must keep working with every knob at its
+// documented default.
+TEST(LockFactoryTest, DefaultOptionsMatchDocumentedDefaults) {
+  auto lock = MakeLock("rwle-pes");
+  ASSERT_NE(lock, nullptr);
+  auto* adapter = dynamic_cast<LockAdapter<RwLeLock>*>(lock.get());
+  ASSERT_NE(adapter, nullptr);
+  const RwLePolicy& policy = adapter->lock().policy();
+  EXPECT_EQ(policy.max_htm_retries, 5u);
+  EXPECT_EQ(policy.max_rot_retries, 5u);
+  EXPECT_TRUE(policy.single_scan_ns_sync);
+  EXPECT_EQ(policy.trace_sink, nullptr);
+}
+
+// Every factory lock owns a latency registry and records into it through
+// the adapter; the snapshot is where the JSON percentiles come from.
+TEST(LockFactoryTest, AdapterRecordsLatenciesForEveryScheme) {
+  ScopedThreadSlot slot;
+  for (const SchemeInfo& scheme : AllSchemes()) {
+    auto lock = MakeLock(scheme.name);
+    ASSERT_NE(lock, nullptr) << scheme.name;
+    lock->Write([] {});
+    lock->Read([] {});
+    const LatencySnapshot snapshot = lock->latency().Snapshot();
+    EXPECT_EQ(snapshot.op[static_cast<int>(OpKind::kWrite)].count, 1u)
+        << scheme.name;
+    EXPECT_EQ(snapshot.op[static_cast<int>(OpKind::kRead)].count, 1u)
+        << scheme.name;
+  }
+}
+
+}  // namespace
+}  // namespace rwle

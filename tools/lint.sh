@@ -9,10 +9,14 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 
-# Python tooling (bench_compare.py etc.): syntax-check every script so a
-# broken tool fails lint rather than the first CI job that invokes it.
+# Python tooling (bench_compare.py, trace_summarize.py, ...): syntax-check
+# every script, then smoke --help so argparse wiring errors (bad defaults,
+# duplicate flags) fail lint rather than the first CI job that invokes them.
 if command -v python3 >/dev/null 2>&1; then
   python3 -m py_compile tools/*.py
+  for tool in tools/*.py; do
+    python3 "$tool" --help >/dev/null
+  done
 else
   echo "lint: python3 not found on PATH; skipping Python checks" >&2
 fi

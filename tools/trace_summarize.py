@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Validate and summarize rwle_bench Chrome trace files.
+
+Usage:
+    tools/trace_summarize.py TRACE.json             # validate + print summary
+    tools/trace_summarize.py --validate TRACE.json  # validate only (quiet)
+    tools/trace_summarize.py --runs 5 TRACE.json    # summarize first 5 runs
+
+TRACE.json is the file written by `rwle_bench --trace=FILE`: a Chrome
+trace_event "JSON Object Format" document (traceEvents + otherData) with
+one process per benchmark run (pid = run id + 1) and one thread lane per
+modeled worker. Timestamps are microseconds of *modeled* time (1 modeled
+cycle = 1 ns; see DESIGN.md, trace subsystem).
+
+Validation checks the structural contract the exporter promises:
+  - top level is an object with a traceEvents list and an otherData object
+    carrying generator/total_events/dropped_events counters;
+  - every event has name/ph/pid/tid, ph is one of M/X/i;
+  - "X" (complete span) events carry numeric non-negative ts and dur plus
+    an args object;
+  - "i" (instant) events carry numeric ts and a scope "s";
+  - every pid referenced by a span/instant has a process_name metadata
+    event, every (pid, tid) lane a thread_name;
+  - per (pid, tid) lane, span *end* timestamps (ts + dur) are
+    non-decreasing: lanes are written from per-thread rings in emission
+    order, and a span is emitted when it ends. (Starts may regress: an
+    operation span encloses the tx/quiesce spans recorded inside it.)
+
+The summary prints, per run: the run label, event counts, how writers
+moved across the HTM -> ROT -> NS fallback ladder (path transitions), the
+abort breakdown by cause, and time spent in quiescence barriers and
+reader stalls -- i.e. the fallback/abort timeline at a glance.
+
+Exit codes:
+    0  file is valid (summary printed unless --validate)
+    1  validation failed
+    2  unreadable/malformed input or usage error
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+VALID_PHASES = {"M", "X", "i"}
+
+REQUIRED_OTHER_DATA = ("generator", "total_events", "dropped_events")
+
+
+def fail(errors, message):
+    errors.append(message)
+    return False
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate(doc):
+    """Returns (ok, errors, events). Collects up to 20 errors."""
+    errors = []
+    if not isinstance(doc, dict):
+        return False, ["top level is not a JSON object"], []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return False, ["traceEvents missing or not a list"], []
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail(errors, "otherData missing or not an object")
+    else:
+        for key in REQUIRED_OTHER_DATA:
+            if key not in other:
+                fail(errors, f"otherData.{key} missing")
+
+    named_pids = set()
+    named_lanes = set()
+    used_pids = set()
+    used_lanes = set()
+    last_span_end = {}  # (pid, tid) -> ts + dur
+
+    for i, event in enumerate(events):
+        if len(errors) >= 20:
+            errors.append("... (more errors suppressed)")
+            break
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(errors, f"{where}: missing {key}")
+        ph = event.get("ph")
+        if ph not in VALID_PHASES:
+            fail(errors, f"{where}: unexpected phase {ph!r}")
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(pid)
+            elif event.get("name") == "thread_name":
+                named_lanes.add((pid, tid))
+            continue
+        used_pids.add(pid)
+        used_lanes.add((pid, tid))
+        if not is_number(event.get("ts")) or event["ts"] < 0:
+            fail(errors, f"{where}: ts missing/negative")
+            continue
+        if not isinstance(event.get("args"), dict):
+            fail(errors, f"{where}: args missing or not an object")
+        if ph == "X":
+            if not is_number(event.get("dur")) or event["dur"] < 0:
+                fail(errors, f"{where}: dur missing/negative")
+                continue
+            lane = (pid, tid)
+            end = event["ts"] + event["dur"]
+            # 1e-6 us slack: ts and dur are rounded separately, so equal
+            # modeled end times can differ by a float ulp here.
+            if end < last_span_end.get(lane, 0.0) - 1e-6:
+                fail(errors, f"{where}: span ends before its lane predecessor")
+            last_span_end[lane] = max(end, last_span_end.get(lane, 0.0))
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                fail(errors, f"{where}: instant scope s missing/invalid")
+
+    for pid in sorted(used_pids - named_pids):
+        fail(errors, f"pid {pid} has events but no process_name metadata")
+    for lane in sorted(used_lanes - named_lanes):
+        fail(errors, f"lane pid={lane[0]} tid={lane[1]} has no thread_name metadata")
+
+    return not errors, errors, events
+
+
+def run_labels(events):
+    labels = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            labels[event["pid"]] = event.get("args", {}).get("name", "?")
+    return labels
+
+
+def summarize(doc, events, max_runs):
+    labels = run_labels(events)
+    other = doc.get("otherData", {})
+    print(f"generator:       {other.get('generator', '?')}")
+    print(f"emitted events:  {other.get('total_events', '?')} "
+          f"(dropped by ring wrap: {other.get('dropped_events', '?')}, "
+          f"unpaired ends: {other.get('unpaired_span_ends', '?')})")
+    print(f"runs:            {other.get('runs', len(labels))}")
+
+    per_run = collections.defaultdict(lambda: {
+        "lanes": set(),
+        "spans": collections.Counter(),
+        "span_dur": collections.Counter(),
+        "instants": collections.Counter(),
+        "tx_outcomes": collections.Counter(),
+    })
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        run = per_run[event["pid"]]
+        run["lanes"].add(event["tid"])
+        if ph == "X":
+            run["spans"][event["name"]] += 1
+            run["span_dur"][event["name"]] += event.get("dur", 0.0)
+            if event["name"].startswith("tx:"):
+                run["tx_outcomes"][event["args"].get("outcome", "?")] += 1
+        else:
+            run["instants"][event["name"]] += 1
+
+    shown = 0
+    for pid in sorted(per_run):
+        if shown >= max_runs:
+            print(f"\n... {len(per_run) - shown} more runs (raise --runs to show)")
+            break
+        shown += 1
+        run = per_run[pid]
+        print(f"\n== run {pid - 1}: {labels.get(pid, '?')} "
+              f"({len(run['lanes'])} lanes)")
+        ops = {name: run["spans"][name] for name in ("read", "write")
+               if run["spans"][name]}
+        if ops:
+            parts = []
+            for name, count in ops.items():
+                mean = run["span_dur"][name] / count
+                parts.append(f"{count} {name} (mean {mean * 1e3:.0f} ns)")
+            print("   ops:        " + ", ".join(parts))
+        tx = {k: v for k, v in run["tx_outcomes"].items()}
+        if tx:
+            print("   tx spans:   " + ", ".join(
+                f"{count} {outcome}" for outcome, count in sorted(tx.items())))
+        aborts = [(name[len("abort:"):], count)
+                  for name, count in run["instants"].items()
+                  if name.startswith("abort:")]
+        if aborts:
+            print("   aborts:     " + ", ".join(
+                f"{count}x {cause}" for cause, count in
+                sorted(aborts, key=lambda kv: -kv[1])))
+        paths = [(name[len("path:"):], count)
+                 for name, count in run["instants"].items()
+                 if name.startswith("path:")]
+        if paths:
+            print("   fallbacks:  " + ", ".join(
+                f"{count}x {edge}" for edge, count in sorted(paths)))
+        for span, label in (("quiesce", "quiesce"), ("reader-wait", "rd-stall")):
+            count = run["spans"][span]
+            if count:
+                total_us = run["span_dur"][span]
+                print(f"   {label}:    {count} spans, {total_us * 1e3:.0f} ns total "
+                      f"(mean {total_us / count * 1e3:.0f} ns)")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate and summarize rwle_bench --trace output.")
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate only; print nothing on success")
+    parser.add_argument("--runs", type=int, default=10,
+                        help="max runs to detail in the summary (default 10)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args.trace}: {err}", file=sys.stderr)
+        return 2
+
+    ok, errors, events = validate(doc)
+    if not ok:
+        print(f"{args.trace}: INVALID", file=sys.stderr)
+        for message in errors:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        return 0
+    print(f"{args.trace}: valid Chrome trace, {len(events)} events")
+    summarize(doc, events, args.runs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
