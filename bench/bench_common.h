@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/harness/bench_harness.h"
 #include "src/harness/result_sink.h"
 #include "src/locks/lock_factory.h"
@@ -82,11 +83,9 @@ inline std::uint64_t FinishAnalysis(const BenchOptions& options) {
 // and swept thread counts over one instance, so the 32-thread run of a
 // scheme started from whatever the 16-thread run left behind.)
 //
-// Seeding: a cell runs with seed `options.seed + threads`. Different
-// thread counts therefore draw different op sequences -- intentionally, so
-// a sweep is not N replays of one schedule -- while the same cell is
-// reproducible across schemes, processes and hosts (RunBenchmark derives
-// the per-thread streams deterministically from this value).
+// Seeding: a cell runs with DeriveCellSeed(options.seed, threads) -- see
+// src/common/rng.h for the contract (RunBenchmark derives the per-thread
+// streams deterministically from this value).
 template <typename Workload>
 void RunFigureGrid(
     const BenchOptions& options, ResultSink* sink,
@@ -108,7 +107,7 @@ void RunFigureGrid(
         run.threads = threads;
         run.total_ops = options.total_ops;
         run.write_ratio = ratio;
-        run.seed = options.seed + threads;
+        run.seed = DeriveCellSeed(options.seed, threads);
         if (options.trace != nullptr) {
           options.trace->BeginRun(scheme, ratio * 100.0, threads);
         }

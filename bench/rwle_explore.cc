@@ -1,0 +1,237 @@
+// Schedule-exploration driver: runs litmus workloads (src/sched/litmus.h)
+// under the deterministic cooperative scheduler, searching interleavings for
+// simulator-contract violations (txsan as oracle) or workload assertion
+// failures. On a failure it minimizes the schedule and writes a replayable
+// trace file, then exits 1; --replay re-executes such a file byte-for-byte.
+//
+// Exit codes: 0 = no failure (or successful replay), 1 = failure found (or
+// replay did not reproduce), 2 = usage error. Only built when RWLE_SCHED=ON.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/htm/htm_runtime.h"
+#include "src/sched/explore.h"
+#include "src/sched/litmus.h"
+#include "src/sched/schedule_trace.h"
+
+#ifdef RWLE_ANALYSIS
+#include "src/analysis/txsan.h"
+#endif
+
+namespace rwle::sched {
+namespace {
+
+int ListWorkloads() {
+  std::printf("%-14s %-8s %-6s %s\n", "workload", "threads", "buggy", "description");
+  for (const LitmusSpec& spec : AllLitmus()) {
+    std::printf("%-14s %-8u %-6s %s\n", spec.name, spec.threads,
+                spec.intentionally_buggy ? "yes" : "no", spec.description);
+  }
+  return 0;
+}
+
+bool ApplyInjection(const std::string& knob) {
+#ifdef RWLE_ANALYSIS
+  auto& injection = HtmRuntime::Global().fault_injection();
+  if (knob == "skip-requester-wins-doom") {
+    injection.skip_requester_wins_doom = true;
+  } else if (knob == "drop-write-back-entry") {
+    injection.drop_write_back_entry = true;
+  } else if (knob == "write-back-on-abort") {
+    injection.write_back_on_abort = true;
+  } else if (knob == "leak-speculative-store") {
+    injection.leak_speculative_store = true;
+  } else if (knob == "rot-tracks-reads") {
+    injection.rot_tracks_reads = true;
+  } else if (knob == "unmonitor-on-suspend") {
+    injection.unmonitor_on_suspend = true;
+  } else if (knob == "skip-quiescence") {
+    injection.skip_quiescence = true;
+  } else {
+    std::fprintf(stderr, "rwle_explore: unknown injection knob '%s'\n", knob.c_str());
+    return false;
+  }
+  return true;
+#else
+  (void)knob;
+  std::fprintf(stderr,
+               "rwle_explore: --inject requires an analysis build (-DRWLE_ANALYSIS=ON)\n");
+  return false;
+#endif
+}
+
+int RunReplay(const std::string& path) {
+  ScheduleTrace trace;
+  std::string error;
+  if (!ReadTraceFile(path, &trace, &error)) {
+    std::fprintf(stderr, "rwle_explore: cannot read trace %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const LitmusSpec* spec = FindLitmus(trace.workload);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "rwle_explore: trace names unknown workload '%s'\n",
+                 trace.workload.c_str());
+    return 2;
+  }
+  std::string failure;
+  const ScheduleTrace replayed = Replay(*spec, trace, &failure);
+  const bool hash_match = replayed.Hash() == trace.Hash();
+  const bool failure_match = failure == trace.failure;
+  std::printf("replay %s: workload=%s steps=%zu hash=%016llx failure=%s\n", path.c_str(),
+              trace.workload.c_str(), replayed.steps.size(),
+              static_cast<unsigned long long>(replayed.Hash()),
+              failure.empty() ? "none" : failure.c_str());
+  if (!hash_match) {
+    std::fprintf(stderr,
+                 "rwle_explore: replay DIVERGED: recorded hash %016llx, replayed %016llx\n",
+                 static_cast<unsigned long long>(trace.Hash()),
+                 static_cast<unsigned long long>(replayed.Hash()));
+    return 1;
+  }
+  if (!failure_match) {
+    std::fprintf(stderr, "rwle_explore: replay outcome mismatch: recorded '%s', got '%s'\n",
+                 trace.failure.empty() ? "none" : trace.failure.c_str(),
+                 failure.empty() ? "none" : failure.c_str());
+    return 1;
+  }
+  std::printf("replay reproduced the recorded schedule exactly\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string workload;
+  bool list_workloads = false;
+  std::string strategy = "random";
+  std::uint64_t schedules = 256;
+  std::uint64_t seed = 1;
+  std::uint64_t pct_depth = 3;
+  std::uint64_t dfs_max_depth = 32;
+  std::uint64_t max_steps = 1 << 20;
+  std::uint64_t shrink_budget = 256;
+  bool shrink = true;
+  std::string replay_path;
+  std::string inject;
+  std::string out = "rwle_explore_repro.trace";
+
+  FlagSet flags(
+      "rwle_explore: search litmus-workload schedules for simulator bugs.\n"
+      "Deterministic: same --workload/--strategy/--seed finds the same trace.");
+  flags.AddString("workload", &workload,
+                  "litmus workload to explore (default: every non-buggy workload)");
+  flags.AddBool("list-workloads", &list_workloads, "print the workload table and exit");
+  flags.AddString("strategy", &strategy, "schedule search: random | pct | dfs");
+  flags.AddUint("schedules", &schedules, "schedules to try per workload");
+  flags.AddUint("seed", &seed, "base seed (random/pct draw per-schedule streams from it)");
+  flags.AddUint("pct-depth", &pct_depth, "PCT bug depth d (d-1 priority change points)");
+  flags.AddUint("dfs-max-depth", &dfs_max_depth,
+                "DFS: branch decisions enumerated exhaustively per schedule");
+  flags.AddUint("max-steps", &max_steps,
+                "branch decisions per schedule before free-run fallback");
+  flags.AddBool("shrink", &shrink, "minimize the failing schedule before writing it");
+  flags.AddUint("shrink-budget", &shrink_budget, "max replays the shrinker may spend");
+  flags.AddString("replay", &replay_path, "re-execute a recorded trace file and exit");
+  flags.AddString("inject", &inject,
+                  "enable one fault-injection knob (analysis builds), e.g. "
+                  "skip-quiescence, drop-write-back-entry");
+  flags.AddString("out", &out, "where to write the failing trace");
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(flags.Usage().c_str(), stdout);
+      return 0;
+    }
+  }
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+
+#ifdef RWLE_ANALYSIS
+  // The checker is the oracle: enable it explicitly, reporting (not
+  // aborting), so the exploration loop can attribute violations to
+  // schedules and keep running.
+  txsan::TxSan::Options txsan_options;
+  txsan_options.abort_on_violation = false;
+  txsan::TxSan::Global().Enable(txsan_options, &HtmRuntime::Global());
+#else
+  std::fprintf(stderr,
+               "rwle_explore: note: non-analysis build -- only workload Verify() "
+               "assertions can fail, the txsan oracle is off\n");
+#endif
+
+  if (list_workloads) {
+    return ListWorkloads();
+  }
+  if (!inject.empty() && !ApplyInjection(inject)) {
+    return 2;
+  }
+  if (!replay_path.empty()) {
+    return RunReplay(replay_path);
+  }
+  if (MakeStrategy(strategy, seed, static_cast<std::uint32_t>(pct_depth),
+                   static_cast<std::uint32_t>(dfs_max_depth)) == nullptr) {
+    std::fprintf(stderr, "rwle_explore: unknown strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+
+  std::vector<const LitmusSpec*> selected;
+  if (!workload.empty()) {
+    const LitmusSpec* spec = FindLitmus(workload);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "rwle_explore: unknown workload '%s' (see --list-workloads)\n",
+                   workload.c_str());
+      return 2;
+    }
+    selected.push_back(spec);
+  } else {
+    for (const LitmusSpec& spec : AllLitmus()) {
+      if (!spec.intentionally_buggy) {
+        selected.push_back(&spec);
+      }
+    }
+  }
+
+  ExploreOptions options;
+  options.strategy = strategy;
+  options.schedules = schedules;
+  options.seed = seed;
+  options.pct_depth = static_cast<std::uint32_t>(pct_depth);
+  options.dfs_max_depth = static_cast<std::uint32_t>(dfs_max_depth);
+  options.max_steps = max_steps;
+  options.shrink_budget = shrink_budget;
+
+  for (const LitmusSpec* spec : selected) {
+    ExploreResult result = Explore(*spec, options);
+    if (!result.failed) {
+      std::printf("%-14s ok: %llu schedules (%s, seed %llu)%s\n", spec->name,
+                  static_cast<unsigned long long>(result.schedules_run), strategy.c_str(),
+                  static_cast<unsigned long long>(seed),
+                  result.exhausted ? ", search space exhausted" : "");
+      continue;
+    }
+    ScheduleTrace trace = result.failing_trace;
+    std::printf("%-14s FAILED: %s at schedule %llu (%zu branch decisions)\n", spec->name,
+                result.failure.c_str(),
+                static_cast<unsigned long long>(trace.schedule_index), trace.steps.size());
+    if (shrink) {
+      trace = Shrink(*spec, trace, result.failure, shrink_budget);
+      std::printf("%-14s shrunk to %zu branch decisions\n", spec->name, trace.steps.size());
+    }
+    if (!WriteTraceFile(out, trace)) {
+      std::fprintf(stderr, "rwle_explore: cannot write trace to %s\n", out.c_str());
+    } else {
+      std::printf("repro trace written to %s (re-run: rwle_explore --replay=%s)\n",
+                  out.c_str(), out.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rwle::sched
+
+int main(int argc, char** argv) { return rwle::sched::Main(argc, argv); }

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench/scenarios/scenario.h"
+#include "src/common/rng.h"
 #include "src/locks/elidable_lock.h"
 #include "src/rwle/rwle_lock.h"
 #include "src/workloads/hashmap/hashmap_workload.h"
@@ -63,7 +64,7 @@ void RunAblation(const ScenarioSpec& spec, const BenchOptions& options,
     lock.set_trace_sink(options.trace);
     for (const double ratio : spec.panel_values) {
       for (const std::uint32_t threads : options.thread_counts) {
-        // Fresh workload per cell and seed = base + threads, matching
+        // Fresh workload per cell and the DeriveCellSeed contract, matching
         // RunFigureGrid (see bench_common.h).
         auto workload = std::make_unique<HashMapWorkload>(
             HashMapScenario::HighCapacityHighContention());
@@ -71,7 +72,7 @@ void RunAblation(const ScenarioSpec& spec, const BenchOptions& options,
         run.threads = threads;
         run.total_ops = options.total_ops;
         run.write_ratio = ratio;
-        run.seed = options.seed + threads;
+        run.seed = DeriveCellSeed(options.seed, threads);
         if (options.trace != nullptr) {
           options.trace->BeginRun(ablation.name, ratio * 100.0, threads);
         }

@@ -20,6 +20,10 @@
 #include "src/trace/trace_export.h"
 #include "src/trace/trace_sink.h"
 
+#ifdef RWLE_SCHED
+#include "src/sched/scheduler.h"
+#endif
+
 namespace rwle {
 namespace {
 
@@ -100,6 +104,7 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   bool csv = false;
   bool full = false;
   bool analysis = false;
+  bool sched_runs = false;
   bool progress = false;
   std::string scenario_flag;
   bool run_all = false;
@@ -135,6 +140,9 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   flags.AddBool("analysis", &analysis,
                 "run under the txsan oracle and print its summary "
                 "(requires an RWLE_ANALYSIS build)");
+  flags.AddBool("sched", &sched_runs,
+                "serialize each run's measured region under the deterministic "
+                "scheduler, seeded from --seed (requires an RWLE_SCHED build)");
   flags.AddBool("progress", &progress,
                 "stream one line per completed run to stderr");
   flags.AddString("json", &json_path,
@@ -186,6 +194,15 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   options.progress = progress;
   if (analysis && !EnableAnalysis()) {
     return 1;
+  }
+  if (sched_runs) {
+#ifdef RWLE_SCHED
+    sched::EnableScheduledRuns(seed);
+#else
+    std::fprintf(stderr,
+                 "--sched requires a scheduler build (cmake -DRWLE_SCHED=ON)\n");
+    return 1;
+#endif
   }
 
   // Tracing: one sink for the whole invocation; the HTM runtime's pointer

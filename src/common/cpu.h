@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/common/sched_hooks.h"
+
 namespace rwle {
 
 // Cache-line geometry of the simulated machine. POWER8 uses 128-byte lines;
@@ -32,7 +34,17 @@ inline void CpuRelax() {
 // Spin-wait backoff that stays live on oversubscribed hosts: after a few
 // pause iterations it yields the CPU so the thread we are waiting on can run.
 // `iteration` is the caller's loop counter.
+//
+// Under the cooperative scheduler every backoff iteration is a scheduling
+// point: a participant spinning on a condition hands control back to the
+// scheduler, which can run the thread that will satisfy it. Without that,
+// serialized execution would deadlock on any spin loop.
 inline void SpinBackoff(std::uint32_t iteration) {
+#ifdef RWLE_SCHED
+  if (sched_hooks::NotifySchedPoint(sched_hooks::SchedPoint::kSpinWait, nullptr)) {
+    return;
+  }
+#endif
   if (iteration < 16) {
     CpuRelax();
   } else {

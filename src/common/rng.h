@@ -18,6 +18,39 @@ inline std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// --- Seed derivation -------------------------------------------------------
+//
+// Every deterministic stream in the repo derives from one base seed through
+// the helpers below. They are part of the reproducibility contract: results
+// archives, the bench_compare regression baselines and rwle_explore replay
+// files all assume these exact formulas, so changing one invalidates every
+// recorded artifact (see EXPERIMENTS.md, "Reproducibility").
+
+// Seed for one benchmark cell of a (scheme x thread-count) sweep: different
+// thread counts draw different op sequences -- intentionally, so a sweep is
+// not N replays of one schedule -- while the same cell stays reproducible
+// across schemes, processes and hosts.
+constexpr std::uint64_t DeriveCellSeed(std::uint64_t base_seed, std::uint32_t threads) {
+  return base_seed + threads;
+}
+
+// Seed for worker thread `thread_index` within one run. The golden-ratio
+// multiply decorrelates the per-thread streams; +1 keeps thread 0 of seed 0
+// away from the all-zero state.
+constexpr std::uint64_t DeriveThreadSeed(std::uint64_t run_seed,
+                                         std::uint32_t thread_index) {
+  return run_seed * 0x9E3779B97F4A7C15ull + thread_index + 1;
+}
+
+// Seed for schedule `schedule_index` of an rwle_explore run: schedule k is
+// regenerable without replaying schedules 0..k-1. SplitMix64 scrambles the
+// combination so consecutive indices give unrelated streams.
+inline std::uint64_t DeriveScheduleSeed(std::uint64_t base_seed,
+                                        std::uint64_t schedule_index) {
+  std::uint64_t state = base_seed ^ (schedule_index * 0xBF58476D1CE4E5B9ull);
+  return SplitMix64(state);
+}
+
 // xoshiro256** by Blackman & Vigna. One instance per thread; never shared.
 class Rng {
  public:

@@ -4,6 +4,7 @@
 #include "src/common/analysis_hooks.h"
 #endif
 #include "src/common/check.h"
+#include "src/common/sched_hooks.h"
 
 namespace rwle {
 namespace {
@@ -49,9 +50,13 @@ ScopedThreadSlot::ScopedThreadSlot() : slot_(ThreadRegistry::Global().Register()
 #ifdef RWLE_ANALYSIS
   analysis_hooks::NotifyThreadRegister(slot_);
 #endif
+  // After registration, so a context switch here cannot reorder slot
+  // assignment: under the scheduler, slots are handed out in schedule order.
+  RWLE_SCHED_POINT(kThreadRegister, nullptr);
 }
 
 ScopedThreadSlot::~ScopedThreadSlot() {
+  RWLE_SCHED_POINT(kThreadUnregister, nullptr);
 #ifdef RWLE_ANALYSIS
   analysis_hooks::NotifyThreadUnregister(slot_);
 #endif

@@ -1,13 +1,21 @@
 #include "src/harness/bench_harness.h"
 
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/common/barrier.h"
 #include "src/common/check.h"
+#include "src/common/rng.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_registry.h"
+#include "src/htm/htm_runtime.h"
 #include "src/locks/elidable_lock.h"
+
+#ifdef RWLE_SCHED
+#include "src/sched/scheduler.h"
+#include "src/sched/strategy.h"
+#endif
 
 namespace rwle {
 
@@ -19,22 +27,49 @@ RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const Op
   CostMeter::Global().Reset();
   CostMeter::Global().set_contention_factor(options.threads);
 
+#ifdef RWLE_SCHED
+  // --sched / RWLE_SCHED=1: serialize the measured region of this cell
+  // under a seeded random schedule (controlled-stress mode, see
+  // src/sched/scheduler.h). Workers only become participants after the
+  // start barrier, so setup and the barrier itself stay free-running.
+  sched::InitScheduledRunsFromEnv();
+  std::unique_ptr<sched::RandomStrategy> sched_strategy;
+  if (sched::ScheduledRunsEnabled()) {
+    sched_strategy = std::make_unique<sched::RandomStrategy>(
+        DeriveScheduleSeed(sched::ScheduledRunsSeed(), options.seed));
+    sched_strategy->BeginSchedule(0);
+    sched::Scheduler::RoundOptions round;
+    round.threads = options.threads;
+    round.max_steps = UINT64_MAX;  // benchmarks never fall back to free-run
+    round.record_trace = false;
+    sched::Scheduler::Global().BeginRound(sched_strategy.get(), round);
+  }
+#endif
+
   SpinBarrier barrier(options.threads + 1);  // workers + timekeeper
   std::vector<std::thread> workers;
   workers.reserve(options.threads);
 
   for (std::uint32_t t = 0; t < options.threads; ++t) {
     workers.emplace_back([&, t] {
-      ScopedThreadSlot slot;
-      Rng rng(options.seed * 0x9E3779B97F4A7C15ull + t + 1);
+      Rng rng(DeriveThreadSeed(options.seed, t));
       std::uint64_t my_ops = options.total_ops / options.threads;
       if (t < options.total_ops % options.threads) {
         ++my_ops;
       }
       barrier.Wait();  // start line
-      for (std::uint64_t i = 0; i < my_ops; ++i) {
-        const bool is_write = rng.NextBool(options.write_ratio);
-        op(t, rng, is_write);
+      {
+#ifdef RWLE_SCHED
+        const sched::RoundParticipant participant(t);  // no-op without a round
+#endif
+        // Registered after joining the round so that under --sched slots
+        // assign in schedule order, not OS arrival order (slot index feeds
+        // epoch-clock lanes and conflict-table identity).
+        const ScopedThreadSlot slot;
+        for (std::uint64_t i = 0; i < my_ops; ++i) {
+          const bool is_write = rng.NextBool(options.write_ratio);
+          op(t, rng, is_write);
+        }
       }
       barrier.Wait();  // finish line
     });
@@ -48,6 +83,12 @@ RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const Op
   for (auto& worker : workers) {
     worker.join();
   }
+
+#ifdef RWLE_SCHED
+  if (sched_strategy != nullptr) {
+    (void)sched::Scheduler::Global().EndRound();
+  }
+#endif
 
   RunResult result;
   result.threads = options.threads;

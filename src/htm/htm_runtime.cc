@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/cpu.h"
+#include "src/common/sched_hooks.h"
 #include "src/htm/preemption.h"
 #include "src/stats/cost_meter.h"
 #include "src/trace/trace_sink.h"
@@ -46,6 +47,7 @@ TxContext* HtmRuntime::CurrentContext() {
 // --- Transaction control ----------------------------------------------------
 
 void HtmRuntime::TxBegin(TxKind kind) {
+  RWLE_SCHED_POINT(kTxBegin, nullptr);
   TxContext* ctx = CurrentContext();
   RWLE_CHECK(ctx != nullptr && "TxBegin requires a registered thread");
   const std::uint64_t status = ctx->status_.load();
@@ -68,6 +70,9 @@ void HtmRuntime::TxBegin(TxKind kind) {
 }
 
 void HtmRuntime::TxCommit() {
+  // Placed before the ACTIVE -> COMMITTING race so the scheduler can insert
+  // a doomer between the last access and the commit attempt.
+  RWLE_SCHED_POINT(kTxCommit, nullptr);
   TxContext* ctx = CurrentContext();
   RWLE_CHECK(ctx != nullptr);
   const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
@@ -153,6 +158,7 @@ void HtmRuntime::TxCancel(AbortCause cause) {
 }
 
 void HtmRuntime::TxSuspend() {
+  RWLE_SCHED_POINT(kTxSuspend, nullptr);
   TxContext* ctx = CurrentContext();
   RWLE_CHECK(ctx != nullptr);
   const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
@@ -181,6 +187,7 @@ void HtmRuntime::TxSuspend() {
 }
 
 void HtmRuntime::TxResume() {
+  RWLE_SCHED_POINT(kTxResume, nullptr);
   TxContext* ctx = CurrentContext();
   RWLE_CHECK(ctx != nullptr);
   const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
@@ -208,6 +215,9 @@ void HtmRuntime::ThrowIfDoomed(TxContext& ctx) {
 }
 
 AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
+  // Covers every abort flavor (self-abort, doomed-at-commit, cancel): the
+  // scheduler can interleave other threads with the footprint release.
+  RWLE_SCHED_POINT(kTxAbort, nullptr);
   const std::uint64_t status = ctx.status_.load();
   RWLE_CHECK(StatusPhase(status) == TxPhase::kDoomed);
   const std::uint64_t epoch = StatusEpoch(status);
@@ -355,7 +365,7 @@ void HtmRuntime::MaybePreempt(TxContext* ctx) {
     if (state.defer_depth > 0) {
       state.pending = true;  // delivered when the defer scope closes
     } else {
-      std::this_thread::yield();
+      PreemptionYield();
     }
   }
 }
@@ -385,6 +395,7 @@ void HtmRuntime::MaybeInjectInterrupt(TxContext* ctx, const void* address) {
 }
 
 std::uint64_t HtmRuntime::CellLoad(std::atomic<std::uint64_t>* cell) {
+  RWLE_SCHED_POINT(kFabricLoad, cell);
   CostMeter::Global().Charge(CostModel::kAccess);
   TxContext* ctx = CurrentContext();
   MaybeInjectInterrupt(ctx, cell);
@@ -407,6 +418,7 @@ std::uint64_t HtmRuntime::CellLoad(std::atomic<std::uint64_t>* cell) {
 }
 
 void HtmRuntime::CellStore(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+  RWLE_SCHED_POINT(kFabricStore, cell);
   CostMeter::Global().Charge(CostModel::kAccess);
   TxContext* ctx = CurrentContext();
   MaybeInjectInterrupt(ctx, cell);
@@ -576,6 +588,7 @@ void HtmRuntime::TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::
 
 bool HtmRuntime::CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expected,
                          std::uint64_t desired) {
+  RWLE_SCHED_POINT(kFabricCas, cell);
   CostMeter::Global().Charge(CostModel::kLockOp);
   TxContext* ctx = CurrentContext();
   RWLE_CHECK(ctx == nullptr || !ctx->InActiveTx());

@@ -70,6 +70,7 @@ class HtmRuntime {
   // Context of the calling thread, or nullptr if the thread never
   // registered a ScopedThreadSlot.
   TxContext* CurrentContext();
+
   TxContext& ContextAt(std::uint32_t thread_slot) { return contexts_[thread_slot]; }
 
   // --- Transaction control (operates on the calling thread's context) ---

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/common/sched_hooks.h"
+
 namespace rwle {
 
 // Owner-thread-only state; see HtmRuntime::MaybePreempt.
@@ -26,6 +28,22 @@ struct PreemptionState {
 
 PreemptionState& ThreadPreemptionState();
 
+// The single yield primitive of the preemption model, shared by MaybePreempt
+// (immediate delivery) and PreemptionDeferScope (deferred delivery), so both
+// deliveries go through the same scheduling point and the preemption and
+// exploration models cannot diverge: under the cooperative scheduler a
+// preemption becomes a kPreemptYield scheduling decision; without it, the
+// plain OS yield.
+inline void PreemptionYield() {
+#ifdef RWLE_SCHED
+  if (sched_hooks::NotifySchedPoint(sched_hooks::SchedPoint::kPreemptYield,
+                                    nullptr)) {
+    return;
+  }
+#endif
+  std::this_thread::yield();
+}
+
 class PreemptionDeferScope {
  public:
   PreemptionDeferScope() { ++ThreadPreemptionState().defer_depth; }
@@ -34,7 +52,7 @@ class PreemptionDeferScope {
     PreemptionState& state = ThreadPreemptionState();
     if (--state.defer_depth == 0 && state.pending) {
       state.pending = false;
-      std::this_thread::yield();
+      PreemptionYield();
     }
   }
 

@@ -69,6 +69,7 @@ class BrLock {
   void LockOne(std::uint32_t slot) {
     std::uint32_t spins = 0;
     for (;;) {
+      RWLE_SCHED_POINT(kLockAcquire, &mutexes_[slot].locked);
       bool expected = false;
       if (!mutexes_[slot].locked.load(std::memory_order_relaxed) &&
           mutexes_[slot].locked.compare_exchange_strong(expected, true,
@@ -82,6 +83,7 @@ class BrLock {
   }
 
   void UnlockOne(std::uint32_t slot) {
+    RWLE_SCHED_POINT(kLockRelease, &mutexes_[slot].locked);
     CostMeter::Global().Charge(CostModel::kLockOp);
     mutexes_[slot].locked.store(false, std::memory_order_release);
   }

@@ -48,6 +48,7 @@ class SglLock {
   void Acquire() {
     std::uint32_t spins = 0;
     for (;;) {
+      RWLE_SCHED_POINT(kLockAcquire, &locked_);
       bool expected = false;
       if (!locked_.load(std::memory_order_relaxed) &&
           locked_.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
@@ -59,6 +60,7 @@ class SglLock {
   }
 
   void Release() {
+    RWLE_SCHED_POINT(kLockRelease, &locked_);
     CostMeter::Global().ChargeContended(CostModel::kLockOp);
     locked_.store(false, std::memory_order_release);
   }

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "src/common/cpu.h"
+#include "src/common/sched_hooks.h"
 #include "src/common/thread_registry.h"
 #include "src/htm/htm_runtime.h"
 #include "src/stats/cost_meter.h"
@@ -33,12 +34,14 @@ class EpochClocks {
   // the clock goes odd, exit notified before it goes even): the quiescence
   // drain check then never reports a false positive.
   void Enter(std::uint32_t thread_slot) {
+    RWLE_SCHED_POINT(kReaderEnter, this);
     CostMeter::Global().Charge(CostModel::kAccess);  // per-thread line: uncontended
     clocks_[thread_slot].value.fetch_add(1, std::memory_order_seq_cst);
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderEnter(thread_slot, this));
   }
 
   void Exit(std::uint32_t thread_slot) {
+    RWLE_SCHED_POINT(kReaderExit, this);
     CostMeter::Global().Charge(CostModel::kAccess);
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderExit(thread_slot, this));
     clocks_[thread_slot].value.fetch_add(1, std::memory_order_seq_cst);
@@ -54,6 +57,7 @@ class EpochClocks {
   // wait for every odd one to move past the snapshot. New readers may keep
   // entering; conflicts with them are caught by the HTM fabric instead.
   void Synchronize() const {
+    RWLE_SCHED_POINT(kQuiescence, this);
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(CurrentThreadSlot(), this));
     EmitTraceEvent(HtmRuntime::Global().trace_sink(), TraceEventType::kQuiesceBegin);
     const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
@@ -79,6 +83,7 @@ class EpochClocks {
   // when new readers are blocked (the caller holds the lock in NS mode), so
   // an odd clock can only transition to "out of critical section".
   void SynchronizeBlockedReaders() const {
+    RWLE_SCHED_POINT(kQuiescence, this);
     RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(CurrentThreadSlot(), this));
     EmitTraceEvent(HtmRuntime::Global().trace_sink(), TraceEventType::kQuiesceBegin,
                    /*detail_a=*/1);  // single-scan variant

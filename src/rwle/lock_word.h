@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/sched_hooks.h"
 #include "src/htm/htm_runtime.h"
 
 namespace rwle {
@@ -51,6 +52,7 @@ class LockWord {
   // on success; dooms subscribed transactions (they must fall off the fast
   // path when anyone takes the lock).
   bool TryAcquire(std::uint64_t observed_free_word, LockState state) {
+    RWLE_SCHED_POINT(kLockAcquire, &cell_);
     const std::uint64_t desired =
         MakeLockWord(LockWordVersion(observed_free_word) + 1, state);
     return HtmRuntime::Global().CellCas(&cell_, observed_free_word, desired);
@@ -71,6 +73,7 @@ class LockWord {
   // Releases the lock, preserving the version (so FAIR readers that copied
   // the held word compare correctly against later acquisitions).
   void Release(std::uint64_t held_word) {
+    RWLE_SCHED_POINT(kLockRelease, &cell_);
     HtmRuntime::Global().CellStore(
         &cell_, MakeLockWord(LockWordVersion(held_word), LockState::kFree));
   }

@@ -1,0 +1,68 @@
+// The exploration engine behind rwle_explore: runs a litmus workload under
+// many scheduler-controlled interleavings, stops at the first failure
+// (txsan violation or Verify() == false), and can replay and minimize the
+// failing schedule. Everything here is deterministic given (workload,
+// strategy, seed): re-running an exploration reproduces the same failing
+// trace hash, and replaying a trace re-executes the identical interleaving.
+#ifndef RWLE_SRC_SCHED_EXPLORE_H_
+#define RWLE_SRC_SCHED_EXPLORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sched/litmus.h"
+#include "src/sched/schedule_trace.h"
+#include "src/sched/strategy.h"
+
+namespace rwle::sched {
+
+struct ExploreOptions {
+  std::string strategy = "random";
+  std::uint64_t schedules = 64;
+  std::uint64_t seed = 1;
+  std::uint32_t pct_depth = 3;
+  std::uint32_t dfs_max_depth = 32;
+  // Branch-decision budget per schedule before free-run fallback.
+  std::uint64_t max_steps = 1 << 20;
+  // Replay attempts the shrinker may spend minimizing a failing trace.
+  std::uint64_t shrink_budget = 256;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules_run = 0;
+  bool failed = false;
+  // Failure signature: a txsan invariant name (e.g.
+  // "aggregate-commit-dropped-store") or "verify-failed". Empty when !failed.
+  std::string failure;
+  ScheduleTrace failing_trace;  // meaningful only when failed
+  bool exhausted = false;       // bounded DFS visited its whole tree
+};
+
+// Runs one schedule of `spec` driven by `strategy` (the caller must have
+// called strategy->BeginSchedule). Resets txsan state first when the checker
+// is enabled, so the reported failure belongs to this schedule. Returns the
+// recorded trace; `*failure` gets the failure signature or is cleared.
+ScheduleTrace RunOneSchedule(const LitmusSpec& spec, Strategy* strategy,
+                             std::uint64_t max_steps, std::string* failure);
+
+// Runs up to options.schedules schedules, stopping at the first failure or
+// when the strategy exhausts its search space.
+ExploreResult Explore(const LitmusSpec& spec, const ExploreOptions& options);
+
+// Re-executes the recorded choice list of `trace` against its workload.
+// Returns the re-recorded trace: for a faithful replay its Hash() equals
+// the original's and `*failure` matches.
+ScheduleTrace Replay(const LitmusSpec& spec, const ScheduleTrace& trace,
+                     std::string* failure);
+
+// Greedy ddmin-style minimization: repeatedly drops chunks of the choice
+// list and keeps a candidate iff replaying it reproduces the same failure
+// signature with a strictly shorter recorded trace. Returns the canonical
+// (re-recorded, replayable) minimized trace; falls back to the input trace
+// if nothing smaller reproduces within `budget` replays.
+ScheduleTrace Shrink(const LitmusSpec& spec, const ScheduleTrace& failing,
+                     const std::string& failure, std::uint64_t budget);
+
+}  // namespace rwle::sched
+
+#endif  // RWLE_SRC_SCHED_EXPLORE_H_

@@ -1,0 +1,206 @@
+#include "src/sched/litmus.h"
+
+#include <new>
+
+#include "src/htm/abort.h"
+#include "src/htm/htm_runtime.h"
+#include "src/memory/tx_var.h"
+#include "src/rwle/path_policy.h"
+#include "src/rwle/rwle_lock.h"
+
+namespace rwle::sched {
+namespace {
+
+// Static per-type arena: same addresses every schedule (see litmus.h).
+template <typename T>
+LitmusRun* ArenaMake() {
+  alignas(T) static unsigned char storage[sizeof(T)];
+  static T* live = nullptr;
+  if (live != nullptr) {
+    live->~T();
+  }
+  live = new (storage) T();
+  return live;
+}
+
+// Two threads increment one cell with unsynchronized load-then-store. Any
+// schedule that interleaves the read-modify-write sequences loses an update.
+// Deliberately buggy: the canonical "does the explorer find it, can the
+// trace be replayed and shrunk" target.
+class LostUpdate final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 2;
+  static constexpr std::uint64_t kIncrementsPerThread = 3;
+
+  void Thread(std::uint32_t /*tid*/) override {
+    for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+      counter_.Store(counter_.Load() + 1);
+    }
+  }
+
+  bool Verify() override {
+    return counter_.Load() == kThreads * kIncrementsPerThread;
+  }
+
+ private:
+  TxVar<std::uint64_t> counter_{0};
+};
+
+// An HTM writer transaction racing a non-transactional thread that
+// alternately stores to one of its cells and loads the other. Correctness is
+// entirely the simulator's job (requester-wins dooming, buffered stores,
+// atomic write-back), so Verify is trivial and txsan is the oracle. This is
+// the workload that exposes the conflict/commit/abort fault injections.
+class TxConflict final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 2;
+  static constexpr std::uint64_t kRounds = 4;
+
+  void Thread(std::uint32_t tid) override {
+    HtmRuntime& runtime = HtmRuntime::Global();
+    if (tid == 0) {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        try {
+          runtime.TxBegin(TxKind::kHtm);
+          x_.Store(round + 1);
+          y_.Store(round + 1);
+          runtime.TxCommit();
+        } catch (const TxAbortException&) {
+          // Doomed by the other thread; that is the point of the workload.
+        }
+      }
+    } else {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        if (round % 2 == 0) {
+          x_.Store(100 + round);
+        } else {
+          (void)y_.Load();
+        }
+      }
+    }
+  }
+
+ private:
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+};
+
+// Two RW-LE writers keep two cells in lockstep while a reader checks the
+// invariant through uninstrumented read sections. The default policy drives
+// the HTM write path, whose epilogue suspends for the quiescence scan --
+// the workload for the suspend/quiescence fault injections. Verify checks
+// both the totals and that no reader ever saw the cells out of sync.
+class IncElided final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 3;
+  static constexpr std::uint64_t kWritesPerWriter = 2;
+
+  void Thread(std::uint32_t tid) override {
+    if (tid < 2) {
+      for (std::uint64_t i = 0; i < kWritesPerWriter; ++i) {
+        lock_.Write([this] {
+          x_.Store(x_.Load() + 1);
+          y_.Store(y_.Load() + 1);
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 2 * kWritesPerWriter; ++i) {
+        lock_.Read([this] {
+          if (x_.Load() != y_.Load()) {
+            torn_ = true;
+          }
+        });
+      }
+    }
+  }
+
+  bool Verify() override {
+    const std::uint64_t expected = 2 * kWritesPerWriter;
+    return !torn_ && x_.Load() == expected && y_.Load() == expected;
+  }
+
+ private:
+  static RwLePolicy Policy() { return RwLePolicy{}; }
+
+  RwLeLock lock_{Policy()};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  bool torn_ = false;  // written only by the reader thread
+};
+
+// Same shape as inc-elided but with max_htm_retries = 0, which demotes every
+// write attempt straight to the ROT path: untracked loads, tracked stores,
+// quiescence before commit. Exercises the ROT-specific fault injection
+// (rot_tracks_reads) plus ROT/reader dooming.
+class RotConflict final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 3;
+  static constexpr std::uint64_t kWritesPerWriter = 2;
+
+  void Thread(std::uint32_t tid) override {
+    if (tid < 2) {
+      for (std::uint64_t i = 0; i < kWritesPerWriter; ++i) {
+        lock_.Write([this] {
+          x_.Store(x_.Load() + 1);
+          y_.Store(y_.Load() + 1);
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 2 * kWritesPerWriter; ++i) {
+        lock_.Read([this] {
+          if (x_.Load() != y_.Load()) {
+            torn_ = true;
+          }
+        });
+      }
+    }
+  }
+
+  bool Verify() override {
+    const std::uint64_t expected = 2 * kWritesPerWriter;
+    return !torn_ && x_.Load() == expected && y_.Load() == expected;
+  }
+
+ private:
+  static RwLePolicy Policy() {
+    RwLePolicy policy;
+    policy.max_htm_retries = 0;  // demote straight to ROT
+    return policy;
+  }
+
+  RwLeLock lock_{Policy()};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  bool torn_ = false;
+};
+
+}  // namespace
+
+const std::vector<LitmusSpec>& AllLitmus() {
+  static const std::vector<LitmusSpec> specs = {
+      {"lost-update",
+       "two threads do unsynchronized load-inc-store on one cell (deliberately racy)",
+       LostUpdate::kThreads, /*intentionally_buggy=*/true, &ArenaMake<LostUpdate>},
+      {"conflict",
+       "HTM transaction racing non-transactional stores and loads on its footprint",
+       TxConflict::kThreads, /*intentionally_buggy=*/false, &ArenaMake<TxConflict>},
+      {"inc-elided",
+       "two RW-LE writers keep two cells in lockstep, one reader checks (HTM path)",
+       IncElided::kThreads, /*intentionally_buggy=*/false, &ArenaMake<IncElided>},
+      {"rot-conflict",
+       "same invariant with max_htm_retries=0, forcing the ROT write path",
+       RotConflict::kThreads, /*intentionally_buggy=*/false, &ArenaMake<RotConflict>},
+  };
+  return specs;
+}
+
+const LitmusSpec* FindLitmus(const std::string& name) {
+  for (const LitmusSpec& spec : AllLitmus()) {
+    if (name == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rwle::sched

@@ -1,0 +1,58 @@
+// Litmus workloads for rwle_explore: small, fixed-thread-count concurrency
+// kernels whose every shared access goes through instrumented primitives, so
+// the scheduler controls the full interleaving. Each workload either has an
+// assertion of its own (Verify) or relies on txsan as the oracle; the
+// exploration loop treats a txsan report or a Verify failure identically.
+//
+// Workloads are placement-new'd into a static per-type arena so the fabric
+// cell addresses are identical across schedules -- address-keyed state
+// (txsan shadow cells, conflict table lines) then behaves identically too,
+// which byte-for-byte replay depends on. TxVar construction re-initializes
+// the txsan shadow for its cell, so arena reuse is safe across schedules.
+#ifndef RWLE_SRC_SCHED_LITMUS_H_
+#define RWLE_SRC_SCHED_LITMUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rwle::sched {
+
+// One run of one workload. The exploration loop constructs it (via
+// LitmusSpec::make), spawns `threads` workers each calling Thread(tid)
+// under a RoundParticipant + ScopedThreadSlot, joins them, then calls
+// Verify on the controller thread (which holds its own slot at that point).
+class LitmusRun {
+ public:
+  virtual ~LitmusRun() = default;
+
+  // Body of logical thread `tid` (0..threads-1). Runs scheduled.
+  virtual void Thread(std::uint32_t tid) = 0;
+
+  // Post-run assertion; runs unscheduled after all workers joined.
+  // Returns false if the outcome is wrong (e.g. a lost update).
+  virtual bool Verify() { return true; }
+};
+
+struct LitmusSpec {
+  const char* name;
+  const char* description;
+  std::uint32_t threads;
+  // True for workloads that are *deliberately* racy (no lock, no tx): they
+  // exist so tests can prove the explorer finds a known bug, and are
+  // excluded from the default "explore everything" set, which must be
+  // failure-free on a correct simulator.
+  bool intentionally_buggy;
+  // Returns the arena instance, destroying the previous occupant. The
+  // pointer stays owned by the arena; do not delete it.
+  LitmusRun* (*make)();
+};
+
+const std::vector<LitmusSpec>& AllLitmus();
+
+// Null if no workload has that name.
+const LitmusSpec* FindLitmus(const std::string& name);
+
+}  // namespace rwle::sched
+
+#endif  // RWLE_SRC_SCHED_LITMUS_H_

@@ -1,0 +1,146 @@
+#include "src/sched/schedule_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rwle::sched {
+namespace {
+
+sched_hooks::SchedPoint PointFromName(const std::string& name, bool* ok) {
+  for (std::uint8_t i = 0; i < sched_hooks::kNumSchedPoints; ++i) {
+    const auto point = static_cast<sched_hooks::SchedPoint>(i);
+    if (name == sched_hooks::SchedPointName(point)) {
+      *ok = true;
+      return point;
+    }
+  }
+  *ok = false;
+  return sched_hooks::SchedPoint::kRoundStart;
+}
+
+}  // namespace
+
+std::uint64_t ScheduleTrace::Hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const ScheduleStep& step : steps) {
+    h ^= step.chosen;
+    h *= 1099511628211ull;
+    h ^= static_cast<std::uint8_t>(step.point);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> ScheduleTrace::Choices() const {
+  std::vector<std::uint8_t> choices;
+  choices.reserve(steps.size());
+  for (const ScheduleStep& step : steps) {
+    choices.push_back(step.chosen);
+  }
+  return choices;
+}
+
+bool WriteTraceFile(const std::string& path, const ScheduleTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "rwle-schedule-trace v1\n";
+  out << "workload " << trace.workload << "\n";
+  out << "threads " << trace.threads << "\n";
+  out << "seed " << trace.seed << "\n";
+  out << "strategy " << trace.strategy << "\n";
+  out << "schedule " << trace.schedule_index << "\n";
+  out << "truncated " << (trace.truncated ? 1 : 0) << "\n";
+  if (!trace.failure.empty()) {
+    out << "failure " << trace.failure << "\n";
+  }
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, trace.Hash());
+  out << "hash " << hash << "\n";
+  out << "choices";
+  for (const ScheduleStep& step : trace.steps) {
+    out << " " << static_cast<unsigned>(step.chosen) << ":"
+        << sched_hooks::SchedPointName(step.point);
+  }
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+bool ReadTraceFile(const std::string& path, ScheduleTrace* trace, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  std::ifstream in(path);
+  if (!in) {
+    return fail("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "rwle-schedule-trace v1") {
+    return fail("bad header (expected 'rwle-schedule-trace v1')");
+  }
+  *trace = ScheduleTrace{};
+  std::string recorded_hash;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "workload") {
+      fields >> trace->workload;
+    } else if (key == "threads") {
+      fields >> trace->threads;
+    } else if (key == "seed") {
+      fields >> trace->seed;
+    } else if (key == "strategy") {
+      fields >> trace->strategy;
+    } else if (key == "schedule") {
+      fields >> trace->schedule_index;
+    } else if (key == "truncated") {
+      int truncated = 0;
+      fields >> truncated;
+      trace->truncated = truncated != 0;
+    } else if (key == "failure") {
+      fields >> trace->failure;
+    } else if (key == "hash") {
+      fields >> recorded_hash;
+    } else if (key == "choices") {
+      std::string item;
+      while (fields >> item) {
+        const std::size_t colon = item.find(':');
+        if (colon == std::string::npos) {
+          return fail("bad choice entry: " + item);
+        }
+        ScheduleStep step;
+        step.chosen = static_cast<std::uint8_t>(
+            std::strtoul(item.substr(0, colon).c_str(), nullptr, 10));
+        bool ok = false;
+        step.point = PointFromName(item.substr(colon + 1), &ok);
+        if (!ok) {
+          return fail("unknown scheduling point: " + item.substr(colon + 1));
+        }
+        trace->steps.push_back(step);
+      }
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  if (!recorded_hash.empty()) {
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016" PRIx64, trace->Hash());
+    if (recorded_hash != hash) {
+      return fail("hash mismatch: file says " + recorded_hash + ", steps hash to " + hash);
+    }
+  }
+  return true;
+}
+
+}  // namespace rwle::sched

@@ -1,0 +1,74 @@
+// The compact branch-choice trace a scheduled round produces, plus its
+// on-disk format (the repro files rwle_explore emits and --replay consumes).
+//
+// A trace records one step per *branch point*: a scheduling point at which
+// two or more threads were runnable and the strategy chose one. Points with
+// a single runnable thread are not recorded -- the choice is forced, so a
+// replay re-derives it -- which keeps repro files small and makes the
+// shrinker's search space exactly the set of real decisions.
+//
+// File format (text, one `key value` pair per line, `choices` last):
+//
+//   rwle-schedule-trace v1
+//   workload lost-update
+//   threads 2
+//   seed 42
+//   strategy random
+//   schedule 17
+//   truncated 0
+//   failure verify-failed
+//   hash 0123456789abcdef
+//   choices 0:fabric-load 1:fabric-store ...
+//
+// `failure` is absent for passing schedules. `hash` is the FNV-1a hash over
+// the recorded (tid, point) steps; a faithful replay reproduces it exactly.
+#ifndef RWLE_SRC_SCHED_SCHEDULE_TRACE_H_
+#define RWLE_SRC_SCHED_SCHEDULE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sched_hooks.h"
+
+namespace rwle::sched {
+
+struct ScheduleStep {
+  std::uint8_t chosen = 0;  // logical participant id picked to run
+  sched_hooks::SchedPoint point = sched_hooks::SchedPoint::kRoundStart;
+
+  friend bool operator==(const ScheduleStep& a, const ScheduleStep& b) {
+    return a.chosen == b.chosen && a.point == b.point;
+  }
+};
+
+struct ScheduleTrace {
+  std::string workload;
+  std::uint32_t threads = 0;
+  std::uint64_t seed = 0;
+  std::string strategy;
+  std::uint64_t schedule_index = 0;
+  // Set when the round hit its step budget and fell back to free-running
+  // threads; such a trace is not replayable past the recorded prefix.
+  bool truncated = false;
+  // Empty for a passing schedule; otherwise the failure signature (a txsan
+  // invariant name or "verify-failed").
+  std::string failure;
+  std::vector<ScheduleStep> steps;
+
+  // FNV-1a over the (chosen, point) step sequence. The determinism and
+  // replay tests compare these: same seed => same hash, replay => same hash.
+  std::uint64_t Hash() const;
+
+  // The chosen tids alone, in order -- the shrinker's search space.
+  std::vector<std::uint8_t> Choices() const;
+};
+
+// Writes/reads the repro file format above. Read reports a one-line parse
+// error through *error (may be null).
+bool WriteTraceFile(const std::string& path, const ScheduleTrace& trace);
+bool ReadTraceFile(const std::string& path, ScheduleTrace* trace, std::string* error);
+
+}  // namespace rwle::sched
+
+#endif  // RWLE_SRC_SCHED_SCHEDULE_TRACE_H_

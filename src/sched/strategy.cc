@@ -1,0 +1,166 @@
+#include "src/sched/strategy.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace rwle::sched {
+namespace {
+
+// Deterministic fair fallback shared by DFS (past its bound) and Replay
+// (past or off its recorded list): rotate through the runnable set so every
+// thread is picked infinitely often and spin loops cannot starve.
+std::uint32_t RoundRobinPick(const std::vector<std::uint32_t>& runnable,
+                             std::uint64_t* counter) {
+  return runnable[(*counter)++ % runnable.size()];
+}
+
+}  // namespace
+
+// --- PCT --------------------------------------------------------------------
+
+void PctStrategy::BeginSchedule(std::uint64_t schedule_index) {
+  rng_ = Rng(DeriveScheduleSeed(seed_, schedule_index));
+  step_count_ = 0;
+  priorities_.clear();
+  // High band for initial priorities, low band for demotions: a demoted
+  // thread must sink below every initial priority, and successive demotions
+  // must stack (the second demoted thread sits above the first).
+  next_low_priority_ = 1u << 20;
+  change_points_.clear();
+  if (depth_ > 0) {
+    const std::uint64_t horizon = std::max<std::uint64_t>(step_estimate_, 1);
+    for (std::uint32_t i = 0; i + 1 < depth_; ++i) {
+      change_points_.push_back(1 + rng_.NextBelow(horizon));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+  }
+}
+
+std::uint64_t PctStrategy::PriorityOf(std::uint32_t tid) {
+  if (priorities_.size() <= tid) {
+    priorities_.resize(tid + 1, 0);
+  }
+  if (priorities_[tid] == 0) {
+    // Lazy assignment keeps the strategy independent of the thread count;
+    // draws are distinct with overwhelming probability, and ties break by
+    // tid (deterministically) anyway.
+    priorities_[tid] = (1u << 21) + rng_.NextBelow(1u << 20);
+  }
+  return priorities_[tid];
+}
+
+std::uint32_t PctStrategy::Pick(const std::vector<std::uint32_t>& runnable,
+                                std::uint32_t running, sched_hooks::SchedPoint point) {
+  ++step_count_;
+  if (!change_points_.empty() && step_count_ >= change_points_.front() &&
+      running != kNoRunner) {
+    change_points_.erase(change_points_.begin());
+    (void)PriorityOf(running);  // ensure slot exists
+    priorities_[running] = next_low_priority_--;
+  }
+  // A thread at a spin/yield point cannot progress until someone else runs;
+  // scheduling it again only burns budget. Sink it below the other threads
+  // (standard PCT treatment of busy-waiting).
+  if (running != kNoRunner && (point == sched_hooks::SchedPoint::kSpinWait ||
+                               point == sched_hooks::SchedPoint::kPreemptYield)) {
+    (void)PriorityOf(running);
+    priorities_[running] = next_low_priority_--;
+  }
+  std::uint32_t best = runnable.front();
+  std::uint64_t best_priority = PriorityOf(best);
+  for (const std::uint32_t tid : runnable) {
+    const std::uint64_t priority = PriorityOf(tid);
+    if (priority > best_priority) {
+      best = tid;
+      best_priority = priority;
+    }
+  }
+  return best;
+}
+
+bool PctStrategy::NextSchedule() {
+  // Track the longest schedule actually observed: the initial estimate is a
+  // guess, and change points drawn beyond the real schedule length never
+  // fire (a litmus run is ~tens of branches, far below a generic default).
+  max_steps_seen_ = std::max(max_steps_seen_, step_count_);
+  step_estimate_ = std::max<std::uint64_t>(max_steps_seen_, 16);
+  return true;
+}
+
+// --- DFS --------------------------------------------------------------------
+
+void DfsStrategy::BeginSchedule(std::uint64_t /*schedule_index*/) {
+  cursor_ = 0;
+  fallback_counter_ = 0;
+}
+
+std::uint32_t DfsStrategy::Pick(const std::vector<std::uint32_t>& runnable,
+                                std::uint32_t /*running*/,
+                                sched_hooks::SchedPoint /*point*/) {
+  if (cursor_ < stack_.size()) {
+    // Replaying the prefix that leads to the deepest un-exhausted decision.
+    // The fanout should match what we saw last pass; if the execution is not
+    // deterministic it may not -- clamp rather than crash, the determinism
+    // tests catch real divergence.
+    Decision& decision = stack_[cursor_++];
+    decision.fanout = static_cast<std::uint32_t>(runnable.size());
+    return runnable[std::min<std::size_t>(decision.rank, runnable.size() - 1)];
+  }
+  if (stack_.size() >= max_branch_depth_) {
+    ++cursor_;
+    return RoundRobinPick(runnable, &fallback_counter_);
+  }
+  stack_.push_back(Decision{0, static_cast<std::uint32_t>(runnable.size())});
+  ++cursor_;
+  return runnable.front();
+}
+
+bool DfsStrategy::NextSchedule() {
+  while (!stack_.empty()) {
+    Decision& last = stack_.back();
+    if (last.rank + 1 < last.fanout) {
+      ++last.rank;
+      return true;
+    }
+    stack_.pop_back();
+  }
+  exhausted_ = true;
+  return false;
+}
+
+// --- Replay -----------------------------------------------------------------
+
+std::uint32_t ReplayStrategy::Pick(const std::vector<std::uint32_t>& runnable,
+                                   std::uint32_t /*running*/,
+                                   sched_hooks::SchedPoint /*point*/) {
+  if (cursor_ < choices_.size()) {
+    const std::uint32_t recorded = choices_[cursor_++];
+    if (std::find(runnable.begin(), runnable.end(), recorded) != runnable.end()) {
+      return recorded;
+    }
+    diverged_ = true;
+    return RoundRobinPick(runnable, &fallback_counter_);
+  }
+  diverged_ = true;
+  return RoundRobinPick(runnable, &fallback_counter_);
+}
+
+// --- Factory ----------------------------------------------------------------
+
+std::unique_ptr<Strategy> MakeStrategy(const std::string& name, std::uint64_t seed,
+                                       std::uint32_t pct_depth,
+                                       std::uint32_t dfs_max_depth) {
+  if (name == "random") {
+    return std::make_unique<RandomStrategy>(seed);
+  }
+  if (name == "pct") {
+    return std::make_unique<PctStrategy>(seed, pct_depth);
+  }
+  if (name == "dfs") {
+    return std::make_unique<DfsStrategy>(dfs_max_depth);
+  }
+  return nullptr;
+}
+
+}  // namespace rwle::sched

@@ -1,0 +1,170 @@
+// Exploration strategies: given the set of runnable participants at a branch
+// point, pick who runs next. One strategy instance drives a whole exploration
+// (many schedules); the scheduler calls BeginSchedule before each round and
+// NextSchedule after it.
+//
+// All strategies are deterministic functions of their constructor arguments
+// and the observed branch points -- no wall clock, no OS entropy -- which is
+// what makes same-seed re-exploration and trace replay byte-for-byte exact.
+#ifndef RWLE_SRC_SCHED_STRATEGY_H_
+#define RWLE_SRC_SCHED_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sched_hooks.h"
+
+namespace rwle::sched {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  // Called by the exploration loop before each schedule; resets per-schedule
+  // state (RNG stream, priorities, DFS replay cursor).
+  virtual void BeginSchedule(std::uint64_t schedule_index) = 0;
+
+  // Picks the next thread to run. `runnable` is the sorted list of logical
+  // participant ids that can make progress, always size >= 2 (forced choices
+  // never reach the strategy). `running` is the participant that hit the
+  // point (or kNoRunner for the synthetic round-start pick).
+  virtual std::uint32_t Pick(const std::vector<std::uint32_t>& runnable,
+                             std::uint32_t running, sched_hooks::SchedPoint point) = 0;
+
+  // Called after a schedule completes. Returns false when the search space
+  // is exhausted (bounded DFS); the exploration loop then stops early.
+  virtual bool NextSchedule() { return true; }
+
+  virtual const char* name() const = 0;
+
+  static constexpr std::uint32_t kNoRunner = UINT32_MAX;
+};
+
+// Seeded random walk: every branch picks uniformly among the runnable set.
+// Schedule k draws from DeriveScheduleSeed(seed, k), so any single schedule
+// can be regenerated without replaying its predecessors.
+class RandomStrategy final : public Strategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  void BeginSchedule(std::uint64_t schedule_index) override {
+    rng_ = Rng(DeriveScheduleSeed(seed_, schedule_index));
+  }
+
+  std::uint32_t Pick(const std::vector<std::uint32_t>& runnable, std::uint32_t /*running*/,
+                     sched_hooks::SchedPoint /*point*/) override {
+    return runnable[rng_.NextBelow(runnable.size())];
+  }
+
+  const char* name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+// PCT (probabilistic concurrency testing, Burckhardt et al.): threads get
+// random distinct priorities; the highest-priority runnable thread always
+// runs; at d-1 randomly chosen branch indices the running thread's priority
+// drops below everyone else's. Finds any bug of depth d with probability
+// >= 1/(n * k^(d-1)) per schedule. `depth` is d; the change points are drawn
+// from [1, estimated steps], where the estimate adapts to the longest
+// schedule seen so far.
+class PctStrategy final : public Strategy {
+ public:
+  PctStrategy(std::uint64_t seed, std::uint32_t depth,
+              std::uint64_t initial_step_estimate = 256)
+      : seed_(seed), depth_(depth), step_estimate_(initial_step_estimate), rng_(seed) {}
+
+  void BeginSchedule(std::uint64_t schedule_index) override;
+  std::uint32_t Pick(const std::vector<std::uint32_t>& runnable, std::uint32_t running,
+                     sched_hooks::SchedPoint point) override;
+  bool NextSchedule() override;
+
+  const char* name() const override { return "pct"; }
+
+ private:
+  std::uint64_t PriorityOf(std::uint32_t tid);
+
+  std::uint64_t seed_;
+  std::uint32_t depth_;
+  std::uint64_t step_estimate_;
+  Rng rng_;
+  std::uint64_t step_count_ = 0;
+  std::uint64_t max_steps_seen_ = 0;
+  std::vector<std::uint64_t> change_points_;  // branch indices, sorted
+  std::vector<std::uint64_t> priorities_;     // by tid; 0 = unassigned
+  std::uint64_t next_low_priority_ = 0;       // decreases on each demotion
+};
+
+// Bounded exhaustive DFS: systematically enumerates branch decisions up to
+// `max_branch_depth` decisions per schedule; beyond the bound it falls back
+// to a deterministic round-robin (fair, so every schedule terminates).
+// NextSchedule backtracks the rightmost unexhausted decision and returns
+// false once the whole bounded tree has been visited.
+class DfsStrategy final : public Strategy {
+ public:
+  explicit DfsStrategy(std::uint32_t max_branch_depth = 32)
+      : max_branch_depth_(max_branch_depth) {}
+
+  void BeginSchedule(std::uint64_t schedule_index) override;
+  std::uint32_t Pick(const std::vector<std::uint32_t>& runnable, std::uint32_t running,
+                     sched_hooks::SchedPoint point) override;
+  bool NextSchedule() override;
+
+  bool exhausted() const { return exhausted_; }
+  const char* name() const override { return "dfs"; }
+
+ private:
+  struct Decision {
+    std::uint32_t rank = 0;  // index into the runnable list taken this pass
+    std::uint32_t fanout = 0;
+  };
+
+  std::uint32_t max_branch_depth_;
+  std::vector<Decision> stack_;
+  std::size_t cursor_ = 0;
+  std::uint64_t fallback_counter_ = 0;
+  bool exhausted_ = false;
+};
+
+// Replays a recorded choice list. Branches past the end of the list (or
+// whose recorded tid is no longer runnable -- possible for shrink candidates,
+// which deliberately desynchronize) fall back to deterministic round-robin.
+// `diverged()` reports whether any fallback was needed.
+class ReplayStrategy final : public Strategy {
+ public:
+  explicit ReplayStrategy(std::vector<std::uint8_t> choices)
+      : choices_(std::move(choices)) {}
+
+  void BeginSchedule(std::uint64_t /*schedule_index*/) override {
+    cursor_ = 0;
+    fallback_counter_ = 0;
+    diverged_ = false;
+  }
+
+  std::uint32_t Pick(const std::vector<std::uint32_t>& runnable, std::uint32_t running,
+                     sched_hooks::SchedPoint point) override;
+
+  bool diverged() const { return diverged_; }
+  const char* name() const override { return "replay"; }
+
+ private:
+  std::vector<std::uint8_t> choices_;
+  std::size_t cursor_ = 0;
+  std::uint64_t fallback_counter_ = 0;
+  bool diverged_ = false;
+};
+
+// Builds the strategy named by rwle_explore's --strategy flag. Returns null
+// for unknown names.
+std::unique_ptr<Strategy> MakeStrategy(const std::string& name, std::uint64_t seed,
+                                       std::uint32_t pct_depth,
+                                       std::uint32_t dfs_max_depth);
+
+}  // namespace rwle::sched
+
+#endif  // RWLE_SRC_SCHED_STRATEGY_H_

@@ -18,6 +18,12 @@
 #include "src/memory/tx_var.h"
 #include "src/rwle/rwle_lock.h"
 
+#ifdef RWLE_SCHED
+#include "src/sched/explore.h"
+#include "src/sched/litmus.h"
+#include "src/sched/schedule_trace.h"
+#endif
+
 namespace rwle {
 namespace {
 
@@ -269,6 +275,99 @@ TEST_F(TxSanSelfTest, CleanContendedWorkloadHasNoViolations) {
               static_cast<std::uint64_t>(kOpsPerThread / 4));
   }
 }
+
+#ifdef RWLE_SCHED
+
+// --- Deterministic-schedule mode ---------------------------------------------
+//
+// With the cooperative scheduler compiled in, each injected fault must be
+// findable by systematic schedule exploration within a fixed budget -- the
+// end-to-end guarantee rwle_explore sells. For every knob we explore the
+// litmus workload whose instrumented paths reach the broken code, assert a
+// violation surfaces, and replay the recorded schedule to prove the failure
+// is byte-for-byte reproducible (identical trace hash, identical report).
+
+struct SchedFaultCase {
+  const char* name;      // knob, for failure messages
+  bool HtmRuntime::FaultInjection::*knob;
+  const char* workload;
+  // Invariants an exploration may legitimately surface first for this knob
+  // (a fault can materialize as a downstream invariant, e.g. a leaked
+  // speculative store that later aborts reads as an aborted write-back).
+  std::vector<Invariant> accepted;
+};
+
+class TxSanSchedExploreTest : public TxSanSelfTest {
+ protected:
+  static void ExploreAndReplay(const SchedFaultCase& fault) {
+    Injection().*fault.knob = true;
+    const sched::LitmusSpec* spec = sched::FindLitmus(fault.workload);
+    ASSERT_NE(spec, nullptr) << fault.workload;
+
+    sched::ExploreOptions options;
+    options.strategy = "random";
+    options.schedules = 64;  // the fixed budget: every fault found within it
+    options.seed = 1;
+    const sched::ExploreResult result = sched::Explore(*spec, options);
+    ASSERT_TRUE(result.failed)
+        << fault.name << ": no violation within " << options.schedules << " schedules";
+    bool accepted = false;
+    for (const Invariant invariant : fault.accepted) {
+      accepted |= result.failure == InvariantName(invariant);
+    }
+    EXPECT_TRUE(accepted) << fault.name << " surfaced as '" << result.failure << "'";
+
+    std::string replay_failure;
+    const sched::ScheduleTrace replayed =
+        sched::Replay(*spec, result.failing_trace, &replay_failure);
+    EXPECT_EQ(replayed.Hash(), result.failing_trace.Hash())
+        << fault.name << ": replay diverged";
+    EXPECT_EQ(replay_failure, result.failure) << fault.name;
+  }
+};
+
+TEST_F(TxSanSchedExploreTest, FindsSkippedRequesterWinsDoom) {
+  ExploreAndReplay({"skip_requester_wins_doom",
+                    &HtmRuntime::FaultInjection::skip_requester_wins_doom, "conflict",
+                    {Invariant::kConflictNotDoomed, Invariant::kAtomicCommit}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsDroppedWriteBackEntry) {
+  ExploreAndReplay({"drop_write_back_entry",
+                    &HtmRuntime::FaultInjection::drop_write_back_entry, "conflict",
+                    {Invariant::kCommitLostStore, Invariant::kAtomicCommit}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsWriteBackOnAbort) {
+  ExploreAndReplay({"write_back_on_abort",
+                    &HtmRuntime::FaultInjection::write_back_on_abort, "conflict",
+                    {Invariant::kAbortedWriteBack, Invariant::kAtomicCommit}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsLeakedSpeculativeStore) {
+  ExploreAndReplay({"leak_speculative_store",
+                    &HtmRuntime::FaultInjection::leak_speculative_store, "conflict",
+                    {Invariant::kSpeculativeVisible, Invariant::kAbortedWriteBack,
+                     Invariant::kAtomicCommit}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsRotTrackingReads) {
+  ExploreAndReplay({"rot_tracks_reads", &HtmRuntime::FaultInjection::rot_tracks_reads,
+                    "rot-conflict", {Invariant::kRotReadSetNotEmpty}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsUnmonitoredSuspend) {
+  ExploreAndReplay({"unmonitor_on_suspend",
+                    &HtmRuntime::FaultInjection::unmonitor_on_suspend, "inc-elided",
+                    {Invariant::kSuspendedUnmonitored}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsSkippedQuiescence) {
+  ExploreAndReplay({"skip_quiescence", &HtmRuntime::FaultInjection::skip_quiescence,
+                    "inc-elided", {Invariant::kCommitWithoutQuiescence}});
+}
+
+#endif  // RWLE_SCHED
 
 }  // namespace
 }  // namespace rwle

@@ -21,6 +21,12 @@ else
   echo "lint: python3 not found on PATH; skipping Python checks" >&2
 fi
 
+# Scheduler builds produce the rwle_explore driver; smoke its flag wiring
+# (--help must print usage and exit 0) when the binary exists.
+if [ -x "${BUILD_DIR}/bench/rwle_explore" ]; then
+  "${BUILD_DIR}/bench/rwle_explore" --help >/dev/null
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not found on PATH; skipping (install LLVM tools to enable)" >&2
   exit 0
