@@ -31,22 +31,38 @@ inline void CpuRelax() {
 #endif
 }
 
-// Spin-wait backoff that stays live on oversubscribed hosts: after a few
-// pause iterations it yields the CPU so the thread we are waiting on can run.
-// `iteration` is the caller's loop counter.
+// Spin-wait backoff that stays live on oversubscribed hosts. `iteration` is
+// the caller's loop counter. Three tiers:
+//   1. single pause          -- the common "owner releases in a few cycles"
+//                               case stays in the pipeline hint;
+//   2. exponential pause     -- growing pause batches (2, 4, ... capped at
+//      batches                  64) back congested lines off without the
+//                               latency cliff of a syscall;
+//   3. sched_yield           -- only after a few hundred pauses, when the
+//                               waited-on thread is likely descheduled and
+//                               spinning further burns its CPU time.
+// The previous single-threshold version (16 pauses then yield) hit the
+// yield syscall on moderately contended lines that tier 2 now absorbs.
 //
 // Under the cooperative scheduler every backoff iteration is a scheduling
 // point: a participant spinning on a condition hands control back to the
 // scheduler, which can run the thread that will satisfy it. Without that,
-// serialized execution would deadlock on any spin loop.
+// serialized execution would deadlock on any spin loop. The hook must stay
+// first so replayed schedules never depend on the backoff shape below it.
 inline void SpinBackoff(std::uint32_t iteration) {
 #ifdef RWLE_SCHED
   if (sched_hooks::NotifySchedPoint(sched_hooks::SchedPoint::kSpinWait, nullptr)) {
     return;
   }
 #endif
-  if (iteration < 16) {
+  if (iteration < 8) {
     CpuRelax();
+  } else if (iteration < 16) {
+    const std::uint32_t exponent = iteration - 7;  // batches of 2..64 pauses
+    const std::uint32_t spins = 1u << (exponent < 6 ? exponent : 6);
+    for (std::uint32_t i = 0; i < spins; ++i) {
+      CpuRelax();
+    }
   } else {
     std::this_thread::yield();
   }

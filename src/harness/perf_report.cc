@@ -1,0 +1,51 @@
+#include "src/harness/perf_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/json_writer.h"
+
+namespace rwle {
+
+std::ostream& WritePerfDocument(std::ostream& os, const PerfManifest& manifest,
+                                const std::vector<PerfBenchmarkResult>& benchmarks) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("format_version", std::uint64_t{1});
+  json.Field("generator", "rwle_perf");
+  json.Key("manifest");
+  json.BeginObject();
+  json.Field("ops_per_rep", manifest.ops_per_rep);
+  json.Field("reps", manifest.reps);
+  json.Field("git_sha", manifest.git_sha);
+  json.Field("created_unix", manifest.created_unix);
+  json.EndObject();
+  json.Key("benchmarks");
+  json.BeginArray();
+  for (const PerfBenchmarkResult& bench : benchmarks) {
+    json.BeginObject();
+    json.Field("name", bench.name);
+    json.Field("ns_per_op", bench.ns_per_op);
+    json.Field("ns_per_op_mean", bench.ns_per_op_mean);
+    json.Field("total_ops", bench.total_ops);
+    json.Field("reps", bench.reps);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << "\n";
+  return os;
+}
+
+bool WritePerfFile(const std::string& path, const PerfManifest& manifest,
+                   const std::vector<PerfBenchmarkResult>& benchmarks) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "rwle_perf: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  WritePerfDocument(out, manifest, benchmarks);
+  return out.good();
+}
+
+}  // namespace rwle

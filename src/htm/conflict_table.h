@@ -18,12 +18,28 @@ namespace rwle {
 // Owner tokens identify (thread slot, transaction epoch) pairs so that a
 // stale owner field left by a doomed transaction can never be confused with
 // that thread's next transaction. Token 0 means "unowned".
+//
+// Packing: [ epoch : 56 | thread_slot + 1 : 8 ]. The +1 bias keeps token 0
+// reserved for "unowned" while slot 0 stays representable. The 8-bit slot
+// field caps the simulator at 255 concurrently registered threads; the
+// static_assert below ties that ceiling to kMaxThreads so widening one
+// without the other fails to compile rather than silently aliasing slots.
+// Epochs get the remaining 56 bits -- at one transaction per nanosecond
+// that wraps after ~2 years, far beyond any run, so wrap-around ABA on the
+// epoch field is not defended against.
 using OwnerToken = std::uint64_t;
+
+static_assert(kMaxThreads <= 255,
+              "OwnerToken packs thread_slot + 1 into its low 8 bits; widen the "
+              "slot field (and OwnerTokenSlot/OwnerTokenEpoch) before raising "
+              "kMaxThreads past 255");
 
 constexpr OwnerToken MakeOwnerToken(std::uint32_t thread_slot, std::uint64_t epoch) {
   return (epoch << 8) | (static_cast<OwnerToken>(thread_slot) + 1);
 }
 
+// Inverse of MakeOwnerToken. Calling either on token 0 ("unowned") is
+// meaningless; callers test for 0 first.
 constexpr std::uint32_t OwnerTokenSlot(OwnerToken token) {
   return static_cast<std::uint32_t>(token & 0xFF) - 1;
 }
@@ -43,6 +59,12 @@ class ConflictTable {
 
   // Maps a shared cell's address to its line slot. Cells within one
   // 128-byte line share a slot (false sharing is modeled, not hidden).
+  //
+  // Hot-path contract: hash once per access. Fast paths call IndexFor once,
+  // keep the index (SlotAt is a plain array load), and log it in the
+  // transaction's set logs, so commit/abort release the footprint without
+  // ever re-hashing. SlotFor is the one-shot form for paths that never need
+  // the index again (non-transactional accesses).
   LineSlot& SlotFor(const void* address) {
     const auto line = reinterpret_cast<std::uintptr_t>(address) >> kCacheLineShift;
     return slots_[Mix(line) & (kSlotCount - 1)];

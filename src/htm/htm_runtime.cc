@@ -55,18 +55,26 @@ void HtmRuntime::TxBegin(TxKind kind) {
 
   ctx->kind_ = kind;
   ctx->escape_mode_ = false;
-  ctx->write_buffer_.clear();
-  ctx->owned_line_indices_.clear();
-  ctx->read_line_indices_.clear();
+  // Buffer and set logs were cleared on the way out of the previous
+  // transaction (TxCommit / FinishAbort); don't re-touch them here.
+  RWLE_DCHECK(ctx->write_buffer_.empty());
+  RWLE_DCHECK(ctx->owned_line_indices_.empty());
+  RWLE_DCHECK(ctx->read_line_indices_.empty());
   ctx->counters_.begins[static_cast<int>(kind)]++;
-  CostMeter::Global().Charge(CostModel::kTxBegin);
+  CostMeter::Global().ChargeAt(ctx->thread_slot_, CostModel::kTxBegin);
   // Same epoch, ACTIVE phase. Plain store is safe: nobody dooms an IDLE
   // context (TryDoomOwner requires an epoch-matching ACTIVE/SUSPENDED
   // snapshot, and all footprint bits of epoch e-1 were cleared before the
-  // epoch advanced).
-  ctx->status_.store(PackStatus(StatusEpoch(status), AbortCause::kNone, TxPhase::kActive));
+  // epoch advanced). Release, not seq_cst: a doomer can only find this
+  // context through footprint it publishes later, and every footprint
+  // publication is a seq_cst RMW (line-claim CAS / reader-bit fetch_or)
+  // that carries this store with it. seq_cst would buy nothing and costs
+  // a full fence per transaction on x86.
+  ctx->status_.store(PackStatus(StatusEpoch(status), AbortCause::kNone, TxPhase::kActive),
+                     std::memory_order_release);
   RWLE_TXSAN_HOOK(*this, OnTxBegin(ctx->thread_slot_, kind));
-  EmitTraceEvent(trace_sink(), TraceEventType::kTxBegin, static_cast<std::uint8_t>(kind));
+  EmitTraceEvent(trace_sink(), ctx->thread_slot_, TraceEventType::kTxBegin,
+                 static_cast<std::uint8_t>(kind));
 }
 
 void HtmRuntime::TxCommit() {
@@ -91,18 +99,24 @@ void HtmRuntime::TxCommit() {
 #ifdef RWLE_ANALYSIS
   bool dropped_one = false;
 #endif
-  for (const auto& [cell, value] : ctx->write_buffer_) {
+  for (const TxWriteSet::Entry& entry : ctx->write_buffer_) {
 #ifdef RWLE_ANALYSIS
     if (fault_injection_.drop_write_back_entry && !dropped_one) {
       dropped_one = true;  // injected bug: aggregate commit loses a store
       continue;
     }
     if (FabricObserver* obs = analysis_observer()) {
-      obs->ObservedWriteBack(ctx->thread_slot_, cell, value);
+      obs->ObservedWriteBack(ctx->thread_slot_, entry.cell, entry.value);
       continue;
     }
 #endif
-    cell->store(value);
+    // Release is enough for the write-back itself: a conflicting access
+    // either (a) still sees the line owned and waits for the status word's
+    // final release-store below, or (b) sees the slot-release CAS -- a
+    // seq_cst RMW sequenced after every one of these stores -- and
+    // synchronizes through it. Either path makes the whole buffer visible;
+    // per-store full fences here would serialize the commit loop.
+    entry.cell->store(entry.value, std::memory_order_release);
   }
 
   const OwnerToken token = MakeOwnerToken(ctx->thread_slot_, epoch);
@@ -113,15 +127,19 @@ void HtmRuntime::TxCommit() {
   for (const std::uint32_t index : ctx->read_line_indices_) {
     ConflictTable::ClearReaderBit(table_.SlotAt(index), ctx->thread_slot_);
   }
-  ctx->write_buffer_.clear();
+  ctx->write_buffer_.Clear();
   ctx->owned_line_indices_.clear();
   ctx->read_line_indices_.clear();
   ctx->counters_.commits[static_cast<int>(ctx->kind_)]++;
-  CostMeter::Global().Charge(CostModel::kTxCommit);
+  CostMeter::Global().ChargeAt(ctx->thread_slot_, CostModel::kTxCommit);
   RWLE_TXSAN_HOOK(*this, OnTxCommitted(ctx->thread_slot_, ctx->kind_));
-  EmitTraceEvent(trace_sink(), TraceEventType::kTxCommit,
+  EmitTraceEvent(trace_sink(), ctx->thread_slot_, TraceEventType::kTxCommit,
                  static_cast<std::uint8_t>(ctx->kind_));
-  ctx->status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
+  // Publishes "write-back done" to anyone spinning in WaitWhileCommitting:
+  // release orders the buffered cell stores and footprint clears before the
+  // epoch advance. (The slot-release CASes above are full fences already.)
+  ctx->status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle),
+                     std::memory_order_release);
 }
 
 void HtmRuntime::TxAbort(AbortCause cause) {
@@ -182,7 +200,7 @@ void HtmRuntime::TxSuspend() {
   }
 #endif
   RWLE_TXSAN_HOOK(*this, OnTxSuspend(ctx->thread_slot_));
-  EmitTraceEvent(trace_sink(), TraceEventType::kTxSuspend,
+  EmitTraceEvent(trace_sink(), ctx->thread_slot_, TraceEventType::kTxSuspend,
                  static_cast<std::uint8_t>(ctx->kind_));
 }
 
@@ -198,7 +216,7 @@ void HtmRuntime::TxResume() {
     RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
   }
   RWLE_TXSAN_HOOK(*this, OnTxResume(ctx->thread_slot_));
-  EmitTraceEvent(trace_sink(), TraceEventType::kTxResume,
+  EmitTraceEvent(trace_sink(), ctx->thread_slot_, TraceEventType::kTxResume,
                  static_cast<std::uint8_t>(ctx->kind_));
 }
 
@@ -226,8 +244,8 @@ AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
 #ifdef RWLE_ANALYSIS
   if (fault_injection_.write_back_on_abort) {
     // Injected bug: the doomed transaction publishes its dead buffer.
-    for (const auto& [cell, value] : ctx.write_buffer_) {
-      cell->store(value);
+    for (const TxWriteSet::Entry& entry : ctx.write_buffer_) {
+      entry.cell->store(entry.value);
     }
   }
 #endif
@@ -242,16 +260,19 @@ AbortCause HtmRuntime::FinishAbort(TxContext& ctx) {
   for (const std::uint32_t index : ctx.read_line_indices_) {
     ConflictTable::ClearReaderBit(table_.SlotAt(index), ctx.thread_slot_);
   }
-  ctx.write_buffer_.clear();
+  ctx.write_buffer_.Clear();
   ctx.owned_line_indices_.clear();
   ctx.read_line_indices_.clear();
   ctx.counters_.aborts[static_cast<int>(ctx.kind_)][static_cast<int>(cause)]++;
-  CostMeter::Global().Charge(CostModel::kTxAbort);
+  CostMeter::Global().ChargeAt(ctx.thread_slot_, CostModel::kTxAbort);
   RWLE_TXSAN_HOOK(*this, OnTxAborted(ctx.thread_slot_, ctx.kind_, cause));
-  EmitTraceEvent(trace_sink(), TraceEventType::kTxAbort,
+  EmitTraceEvent(trace_sink(), ctx.thread_slot_, TraceEventType::kTxAbort,
                  static_cast<std::uint8_t>(ctx.kind_), static_cast<std::uint8_t>(cause));
-  // Footprint is clear: safe to advance the epoch and go idle.
-  ctx.status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle));
+  // Footprint is clear: safe to advance the epoch and go idle. Release for
+  // the same reason as the commit-side epoch advance: the footprint-release
+  // RMWs above are what doomers synchronize through.
+  ctx.status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle),
+                    std::memory_order_release);
   return cause;
 }
 
@@ -315,7 +336,16 @@ void HtmRuntime::WaitWhileCommitting(OwnerToken token) {
 
 void HtmRuntime::DoomReaders(ConflictTable::LineSlot& slot, std::uint32_t skip_thread_slot,
                              AbortCause cause) {
-  for (std::uint32_t word = 0; word < ConflictTable::kReaderWords; ++word) {
+  // Scan only reader words that can hold a registered thread's bit. The
+  // watermark is monotonic non-decreasing and read after any bit of interest
+  // was set (the setter's slot was below the watermark at set time), so the
+  // bound never hides a live reader.
+  const std::uint32_t live_words =
+      (ThreadRegistry::Global().HighWatermark() + 63) / 64;
+  const std::uint32_t words = live_words < ConflictTable::kReaderWords
+                                  ? live_words
+                                  : ConflictTable::kReaderWords;
+  for (std::uint32_t word = 0; word < words; ++word) {
     std::uint64_t bits = slot.readers[word].load();
     while (bits != 0) {
       const int bit = __builtin_ctzll(bits);
@@ -360,7 +390,10 @@ void HtmRuntime::MaybePreempt(TxContext* ctx) {
   if (ctx == nullptr || config_.yield_access_period == 0) {
     return;
   }
-  if (++ctx->access_counter_ % config_.yield_access_period == 0) {
+  // Count up to the period and reset: same cadence as the previous modulo
+  // check, without an integer division on every fabric access.
+  if (++ctx->access_counter_ >= config_.yield_access_period) {
+    ctx->access_counter_ = 0;
     PreemptionState& state = ThreadPreemptionState();
     if (state.defer_depth > 0) {
       state.pending = true;  // delivered when the defer scope closes
@@ -396,8 +429,11 @@ void HtmRuntime::MaybeInjectInterrupt(TxContext* ctx, const void* address) {
 
 std::uint64_t HtmRuntime::CellLoad(std::atomic<std::uint64_t>* cell) {
   RWLE_SCHED_POINT(kFabricLoad, cell);
-  CostMeter::Global().Charge(CostModel::kAccess);
-  TxContext* ctx = CurrentContext();
+  // One thread-local read per access: slot feeds context lookup and cost
+  // accounting (previously three separate CurrentThreadSlot() reads).
+  const std::uint32_t self = CurrentThreadSlot();
+  CostMeter::Global().ChargeAt(self, CostModel::kAccess);
+  TxContext* ctx = self == kInvalidThreadSlot ? nullptr : &contexts_[self];
   MaybeInjectInterrupt(ctx, cell);
   MaybePreempt(ctx);
   if (ctx != nullptr) {
@@ -419,8 +455,9 @@ std::uint64_t HtmRuntime::CellLoad(std::atomic<std::uint64_t>* cell) {
 
 void HtmRuntime::CellStore(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
   RWLE_SCHED_POINT(kFabricStore, cell);
-  CostMeter::Global().Charge(CostModel::kAccess);
-  TxContext* ctx = CurrentContext();
+  const std::uint32_t self = CurrentThreadSlot();
+  CostMeter::Global().ChargeAt(self, CostModel::kAccess);
+  TxContext* ctx = self == kInvalidThreadSlot ? nullptr : &contexts_[self];
   MaybeInjectInterrupt(ctx, cell);
   MaybePreempt(ctx);
   if (ctx != nullptr) {
@@ -440,12 +477,15 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
   ThrowIfDoomed(ctx);
 
   // Read-own-writes.
-  if (const auto it = ctx.write_buffer_.find(cell); it != ctx.write_buffer_.end()) {
-    RWLE_TXSAN_HOOK(*this, OnBufferedLoad(ctx.thread_slot_, cell, it->second));
-    return it->second;
+  if (const std::uint64_t* buffered = ctx.write_buffer_.Find(cell)) {
+    RWLE_TXSAN_HOOK(*this, OnBufferedLoad(ctx.thread_slot_, cell, *buffered));
+    return *buffered;
   }
 
-  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  // Hash once: the index both resolves the slot and goes into the read-set
+  // log, so commit/abort release without re-hashing.
+  const std::uint32_t index = table_.IndexFor(cell);
+  ConflictTable::LineSlot& slot = table_.SlotAt(index);
   const OwnerToken my_token = ctx.CurrentToken();
 
   // Resolve a conflicting write owner (requester wins).
@@ -476,7 +516,7 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
         AbortSelf(ctx, AbortCause::kCapacityRead);  // throws
       }
       ConflictTable::SetReaderBit(slot, ctx.thread_slot_);
-      ctx.read_line_indices_.push_back(table_.IndexFor(cell));
+      ctx.read_line_indices_.push_back(index);
       // Close the race window: a writer that claimed the line between our
       // owner check and our bit publication scanned reader bits before we
       // set ours, so neither side would notice the conflict. Re-check.
@@ -509,9 +549,9 @@ std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* 
       // set see the buffered (speculative) value, like same-thread loads
       // hitting the transactional L1 lines on real hardware.
       if (ctx->InSuspendedTx()) {
-        if (const auto it = ctx->write_buffer_.find(cell); it != ctx->write_buffer_.end()) {
-          RWLE_TXSAN_HOOK(*this, OnBufferedLoad(self, cell, it->second));
-          return it->second;
+        if (const std::uint64_t* buffered = ctx->write_buffer_.Find(cell)) {
+          RWLE_TXSAN_HOOK(*this, OnBufferedLoad(self, cell, *buffered));
+          return *buffered;
         }
       }
       return FabricLoad(FabricAccess::kNonTx, self, cell);
@@ -531,7 +571,9 @@ std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* 
 }
 
 void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell) {
-  ConflictTable::LineSlot& slot = table_.SlotFor(cell);
+  // Hash once; the index is also the write-set log entry (see TxLoad).
+  const std::uint32_t index = table_.IndexFor(cell);
+  ConflictTable::LineSlot& slot = table_.SlotAt(index);
   const OwnerToken my_token = ctx.CurrentToken();
 
   std::uint32_t spins = 0;
@@ -563,7 +605,7 @@ void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* c
 
     // Newly claimed: account capacity, then kill all transactional readers
     // of this line (a store invalidates their read monitors).
-    ctx.owned_line_indices_.push_back(table_.IndexFor(cell));
+    ctx.owned_line_indices_.push_back(index);
     if (ctx.owned_line_indices_.size() > config_.max_write_lines) {
       AbortSelf(ctx, AbortCause::kCapacityWrite);  // throws; line released in cleanup
     }
@@ -575,7 +617,7 @@ void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* c
 void HtmRuntime::TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value) {
   ThrowIfDoomed(ctx);
   ClaimLineForWrite(ctx, cell);
-  ctx.write_buffer_[cell] = value;
+  ctx.write_buffer_.Put(cell, value);
   RWLE_TXSAN_HOOK(*this, OnSpeculativeStore(ctx.thread_slot_, cell, value));
 #ifdef RWLE_ANALYSIS
   if (fault_injection_.leak_speculative_store) {
@@ -589,8 +631,9 @@ void HtmRuntime::TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::
 bool HtmRuntime::CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expected,
                          std::uint64_t desired) {
   RWLE_SCHED_POINT(kFabricCas, cell);
-  CostMeter::Global().Charge(CostModel::kLockOp);
-  TxContext* ctx = CurrentContext();
+  const std::uint32_t self = CurrentThreadSlot();
+  CostMeter::Global().ChargeAt(self, CostModel::kLockOp);
+  TxContext* ctx = self == kInvalidThreadSlot ? nullptr : &contexts_[self];
   RWLE_CHECK(ctx == nullptr || !ctx->InActiveTx());
   if (ctx != nullptr && ctx->phase() == TxPhase::kDoomed && !ctx->escape_mode_) {
     ThrowIfDoomed(*ctx);  // doomed mid-attempt: abort before touching locks
@@ -598,7 +641,6 @@ bool HtmRuntime::CellCas(std::atomic<std::uint64_t>* cell, std::uint64_t expecte
   MaybeInjectInterrupt(ctx, cell);
 
   ConflictTable::LineSlot& slot = table_.SlotFor(cell);
-  const std::uint32_t self = ctx != nullptr ? ctx->thread_slot_ : kInvalidThreadSlot;
 
   std::uint32_t spins = 0;
   for (;;) {

@@ -17,11 +17,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/htm/abort.h"
 #include "src/htm/conflict_table.h"
+#include "src/htm/tx_write_set.h"
 
 namespace rwle {
 
@@ -112,8 +112,9 @@ class TxContext {
   std::uint32_t thread_slot_ = kInvalidThreadSlot;
   TxKind kind_ = TxKind::kHtm;
 
-  // Fabric accesses by this thread, driving the preemption model. Owner
-  // thread only.
+  // Fabric accesses since the last modeled preemption; counts up to
+  // HtmConfig::yield_access_period and resets (a compare, not a modulo, on
+  // the access fast path). Owner thread only.
   std::uint64_t access_counter_ = 0;
 
   // True between TxSuspend and TxResume. Only the owning thread touches it.
@@ -125,11 +126,19 @@ class TxContext {
   bool escape_mode_ = false;
 
   // Speculative redo buffer: cell -> buffered value. Invisible to other
-  // threads until commit write-back.
-  std::unordered_map<std::atomic<std::uint64_t>*, std::uint64_t> write_buffer_;
+  // threads until commit write-back (open-addressed flat map; see
+  // tx_write_set.h for why not unordered_map).
+  TxWriteSet write_buffer_;
 
-  // Conflict-table slot indices this transaction owns (write set) or has
-  // marked with its reader bit (read set); used for release and capacity.
+  // Per-transaction set logs: the conflict-table slot indices this
+  // transaction owns (write set) or has marked with its reader bit (read
+  // set). Commit and abort release exactly these slots -- O(footprint), not
+  // a table scan -- and their sizes drive capacity aborts. Indices are
+  // recorded at access time (the access already computed the slot hash), so
+  // release never re-hashes. These hold *slot* indices and are naturally
+  // deduplicated: two lines aliasing to one slot log it only once, because
+  // the second access finds the slot already owned / the reader bit already
+  // set (see tests/set_log_test.cc).
   std::vector<std::uint32_t> owned_line_indices_;
   std::vector<std::uint32_t> read_line_indices_;
 

@@ -1,0 +1,133 @@
+// The speculative redo buffer's container: an open-addressed flat map from
+// cell address to buffered value, tuned for the fabric's write hot path.
+//
+// Replaces the std::unordered_map the runtime used through PR 4. The map's
+// three hot operations are exactly the three things unordered_map is worst
+// at:
+//   - Put on TxStore: node allocation + pointer-chasing bucket walk;
+//   - Find on every TxLoad (read-own-writes check): bucket walk even on miss;
+//   - Clear at commit/abort: touches every bucket head, O(bucket count).
+// Here the entries live in one contiguous vector (the commit write-back loop
+// is a linear scan), the index table is a flat power-of-two probe array, and
+// -- mirroring the conflict-table set logs (DESIGN.md §10) -- each entry
+// remembers its own index-table position, so Clear() zeroes only the touched
+// positions and is O(entries), not O(capacity). No allocation happens in
+// steady state: both vectors keep their capacity across transactions.
+#ifndef RWLE_SRC_HTM_TX_WRITE_SET_H_
+#define RWLE_SRC_HTM_TX_WRITE_SET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rwle {
+
+class TxWriteSet {
+ public:
+  struct Entry {
+    std::atomic<std::uint64_t>* cell;
+    std::uint64_t value;
+    std::uint32_t table_pos;  // own position in table_, for O(entries) Clear
+  };
+
+  TxWriteSet() = default;
+  TxWriteSet(const TxWriteSet&) = delete;
+  TxWriteSet& operator=(const TxWriteSet&) = delete;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  // Commit/abort iterate entries in insertion order (last Put to a cell wins
+  // trivially: Put updates in place, so each cell appears once).
+  const Entry* begin() const { return entries_.data(); }
+  const Entry* end() const { return entries_.data() + entries_.size(); }
+
+  // Returns the buffered value slot for `cell`, or nullptr if the cell has
+  // no buffered store. The empty() early-out keeps read-only transactions
+  // (no writes buffered) at a single predictable branch per load.
+  std::uint64_t* Find(const std::atomic<std::uint64_t>* cell) {
+    if (entries_.empty()) {
+      return nullptr;
+    }
+    const std::uint32_t idx = table_[Probe(cell)];
+    return idx == 0 ? nullptr : &entries_[idx - 1].value;
+  }
+
+  // Inserts or overwrites the buffered value for `cell`.
+  void Put(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
+    if (table_.empty()) {
+      Rehash(kMinTableSize);
+    }
+    std::uint32_t pos = Probe(cell);
+    const std::uint32_t idx = table_[pos];
+    if (idx != 0) {
+      entries_[idx - 1].value = value;
+      return;
+    }
+    // Keep load factor <= 1/2 so linear probes stay short.
+    if ((entries_.size() + 1) * 2 > table_.size()) {
+      Rehash(static_cast<std::uint32_t>(table_.size()) * 2);
+      pos = Probe(cell);
+    }
+    entries_.push_back(Entry{cell, value, pos});
+    table_[pos] = static_cast<std::uint32_t>(entries_.size());
+  }
+
+  // Drops all entries, zeroing only the index-table positions that were
+  // actually used. Capacity is retained for the next transaction.
+  void Clear() {
+    for (const Entry& entry : entries_) {
+      table_[entry.table_pos] = 0;
+    }
+    entries_.clear();
+  }
+
+ private:
+  // 64 positions = 32 buffered cells before the first grow, matching the
+  // default per-transaction write-capacity ballpark (HtmConfig).
+  static constexpr std::uint32_t kMinTableSize = 64;
+
+  static std::uint32_t Hash(const std::atomic<std::uint64_t>* cell) {
+    // Multiplicative pointer hash; cells are 8-byte aligned, so the low
+    // three bits carry no information.
+    const auto x = reinterpret_cast<std::uintptr_t>(cell) >> 3;
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  // Linear probe: returns the position holding `cell`'s entry, or the empty
+  // position where it belongs. table_ must be non-empty.
+  std::uint32_t Probe(const std::atomic<std::uint64_t>* cell) const {
+    const std::uint32_t mask = static_cast<std::uint32_t>(table_.size()) - 1;
+    std::uint32_t pos = Hash(cell) & mask;
+    for (;;) {
+      const std::uint32_t idx = table_[pos];
+      if (idx == 0 || entries_[idx - 1].cell == cell) {
+        return pos;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  void Rehash(std::uint32_t new_size) {
+    table_.assign(new_size, 0);
+    const std::uint32_t mask = new_size - 1;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      std::uint32_t pos = Hash(entries_[i].cell) & mask;
+      while (table_[pos] != 0) {
+        pos = (pos + 1) & mask;
+      }
+      entries_[i].table_pos = pos;
+      table_[pos] = i + 1;
+    }
+  }
+
+  // Positions hold entry index + 1; 0 means empty. Size is a power of two.
+  std::vector<std::uint32_t> table_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_TX_WRITE_SET_H_

@@ -60,8 +60,14 @@ class CostMeter {
     std::uint64_t global_serial = 0;
   };
 
-  void Charge(std::uint64_t units) {
-    const std::uint32_t slot = CurrentThreadSlot();
+  void Charge(std::uint64_t units) { ChargeAt(CurrentThreadSlot(), units); }
+
+  // Charge when the caller already holds its thread slot: the fabric hot
+  // path resolves the slot once per access and reuses it for context lookup,
+  // cost accounting and tracing, instead of paying a thread-local read in
+  // each. `slot` must be this thread's slot (or kInvalidThreadSlot, which is
+  // a no-op) -- shards are unsynchronized and owner-written.
+  void ChargeAt(std::uint32_t slot, std::uint64_t units) {
     if (slot == kInvalidThreadSlot) {
       return;
     }

@@ -36,6 +36,29 @@ class TraceSink {
   virtual void Emit(const TraceEvent& event) = 0;
 };
 
+// Emit variant for callers that already resolved their thread slot (the HTM
+// fabric passes TxContext::thread_slot()): identical behavior to the general
+// overload below without re-reading the thread-local. `thread_slot` must be
+// the calling thread's slot or kInvalidThreadSlot (no-op).
+inline void EmitTraceEvent(TraceSink* sink, std::uint32_t thread_slot,
+                           TraceEventType type, std::uint8_t detail_a = 0,
+                           std::uint8_t detail_b = 0, std::uint64_t arg = 0) {
+  if (sink == nullptr) [[likely]] {
+    return;
+  }
+  if (thread_slot == kInvalidThreadSlot) {
+    return;
+  }
+  TraceEvent event;
+  event.timestamp = CostMeter::Global().SlotCycles(thread_slot);
+  event.type = type;
+  event.thread_slot = static_cast<std::uint8_t>(thread_slot);
+  event.detail_a = detail_a;
+  event.detail_b = detail_b;
+  event.arg = arg;
+  sink->Emit(event);
+}
+
 // The one emit helper every hook site uses. `sink == nullptr` is the
 // tracing-off fast path and the branch predictor's steady state.
 inline void EmitTraceEvent(TraceSink* sink, TraceEventType type,
@@ -44,18 +67,7 @@ inline void EmitTraceEvent(TraceSink* sink, TraceEventType type,
   if (sink == nullptr) [[likely]] {
     return;
   }
-  const std::uint32_t slot = CurrentThreadSlot();
-  if (slot == kInvalidThreadSlot) {
-    return;
-  }
-  TraceEvent event;
-  event.timestamp = CostMeter::Global().SlotCycles(slot);
-  event.type = type;
-  event.thread_slot = static_cast<std::uint8_t>(slot);
-  event.detail_a = detail_a;
-  event.detail_b = detail_b;
-  event.arg = arg;
-  sink->Emit(event);
+  EmitTraceEvent(sink, CurrentThreadSlot(), type, detail_a, detail_b, arg);
 }
 
 // Collects events into one ring per thread slot. Lanes are allocated by

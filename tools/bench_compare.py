@@ -1,33 +1,41 @@
 #!/usr/bin/env python3
-"""Compare two rwle_bench JSON result files and flag regressions.
+"""Compare two rwle JSON result files and flag regressions.
 
 Usage:
     tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
                            [--abort-delta 10.0] [--require-complete]
 
-Both files must be `rwle_bench --json=...` documents (format_version 1,
-schema documented in EXPERIMENTS.md). Runs are matched on the key
-(scenario, scheme, panel_value, threads); for every matched pair the
-relative delta of modeled throughput
+Both files must be the same kind of document (format_version 1):
 
-    delta = (current - baseline) / baseline
+  * `rwle_bench --json=...` archives (modeled time; schema in
+    EXPERIMENTS.md). Runs are matched on the key
+    (scenario, scheme, panel_value, threads); for every matched pair the
+    relative delta of modeled throughput
 
-is computed, and any |delta| > --threshold is reported as a regression or
-an improvement-to-acknowledge (both fail: an unexplained speedup usually
-means the workload changed, not that the code got faster). Abort rates are
-compared in percentage points against --abort-delta.
+        delta = (current - baseline) / baseline
+
+    is computed, and any |delta| > --threshold is reported as a regression
+    or an improvement-to-acknowledge (both fail: an unexplained speedup
+    usually means the workload changed, not that the code got faster).
+    Abort rates are compared in percentage points against --abort-delta.
+    Wall-clock seconds in these documents depend on the host and are never
+    gated; the modeled-time formula T(N) = S + max(W, P/N) is deterministic
+    for a fixed seed up to scheduling noise (measured run-to-run spread is
+    ~2-3%, so the 10% default threshold has healthy margin).
+
+  * `rwle_perf --json=...` documents (generator "rwle_perf"; wall-clock
+    ns/op micro-benchmarks, schema in PERFORMANCE.md). Benchmarks are
+    matched on name and gated on the relative delta of ns_per_op. Only
+    *slowdowns* beyond --threshold fail -- wall-clock improvements are
+    expected across hosts and are reported, not flagged. CI runs this with
+    a loose threshold (cross-host variance); tighten it for A/B runs on
+    one machine (workflow in PERFORMANCE.md).
 
 Exit codes:
     0  all matched runs within thresholds
     1  at least one delta beyond threshold (or missing runs with
        --require-complete)
-    2  malformed input / usage error
-
-Only modeled throughput is gated. Wall-clock seconds depend on the host and
-are reported for information only; the modeled-time formula
-T(N) = S + max(W, P/N) is deterministic for a fixed seed up to scheduling
-noise (measured run-to-run spread is ~2-3%, so the 10% default threshold
-has healthy margin while staying below real regressions).
+    2  malformed input / usage error (including mixing document kinds)
 """
 
 import argparse
@@ -35,13 +43,8 @@ import json
 import sys
 
 
-def load_runs(path):
-    """Returns {key: run_dict} for every result in `path`.
-
-    Key is (scenario, scheme, panel_value, threads). Exits with code 2 on
-    malformed documents so gating failures are distinguishable from I/O or
-    schema problems.
-    """
+def load_doc(path):
+    """Parses `path` and validates format_version; exits with 2 on failure."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -56,7 +59,43 @@ def load_runs(path):
             file=sys.stderr,
         )
         sys.exit(2)
+    return doc
 
+
+def is_perf_doc(doc):
+    return doc.get("generator") == "rwle_perf" or "benchmarks" in doc
+
+
+def load_perf_benches(doc, path):
+    """Returns {name: benchmark_dict} for an rwle_perf document."""
+    benches = {}
+    for bench in doc.get("benchmarks", []):
+        try:
+            name = bench["name"]
+            float(bench["ns_per_op"])
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"bench_compare: {path}: malformed benchmark entry: {exc}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        if name in benches:
+            print(
+                f"bench_compare: {path}: duplicate benchmark {name!r}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        benches[name] = bench
+    return benches
+
+
+def load_runs(doc, path):
+    """Returns {key: run_dict} for every result in an rwle_bench document.
+
+    Key is (scenario, scheme, panel_value, threads). Exits with code 2 on
+    malformed documents so gating failures are distinguishable from I/O or
+    schema problems.
+    """
     runs = {}
     for scenario in doc.get("scenarios", []):
         manifest = scenario.get("manifest", {})
@@ -99,9 +138,67 @@ def format_key(key):
     return f"{scenario}/{scheme} panel={panel:g} threads={threads}"
 
 
+def compare_perf(args, baseline_doc, current_doc):
+    """Gates rwle_perf wall-clock documents; one-sided (slowdowns fail)."""
+    baseline = load_perf_benches(baseline_doc, args.baseline)
+    current = load_perf_benches(current_doc, args.current)
+
+    failures = []
+    compared = 0
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        compared += 1
+        base_ns = float(baseline[name]["ns_per_op"])
+        cur_ns = float(current[name]["ns_per_op"])
+        if base_ns <= 0.0:
+            continue
+        delta = (cur_ns - base_ns) / base_ns
+        if delta > args.threshold:
+            failures.append(
+                f"{name}: wall-clock regressed {delta:+.1%} "
+                f"({base_ns:.1f} -> {cur_ns:.1f} ns/op, "
+                f"threshold {args.threshold:.0%})"
+            )
+        elif delta < -args.threshold:
+            # Big improvements are informational: a faster host, or a real
+            # optimization that should refresh the baseline.
+            print(
+                f"bench_compare: note: {name} improved {delta:+.1%} "
+                f"({base_ns:.1f} -> {cur_ns:.1f} ns/op); refresh "
+                f"results/baseline/perf.json if this is a code change"
+            )
+
+    missing_current = sorted(set(baseline) - set(current))
+    missing_baseline = sorted(set(current) - set(baseline))
+    if args.require_complete:
+        failures.extend(f"missing from current: {n}" for n in missing_current)
+        failures.extend(f"missing from baseline: {n}" for n in missing_baseline)
+
+    print(
+        f"bench_compare: {compared} matched perf benchmarks "
+        f"({len(missing_current)} only in baseline, "
+        f"{len(missing_baseline)} only in current), "
+        f"threshold {args.threshold:.0%}"
+    )
+    if compared == 0 and not failures:
+        print(
+            "bench_compare: no overlapping benchmarks to compare",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if failures:
+        print(f"bench_compare: {len(failures)} check(s) failed:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        sys.exit(1)
+    print("bench_compare: OK")
+    sys.exit(0)
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="Compare two rwle_bench JSON result files."
+        description="Compare two rwle_bench / rwle_perf JSON result files."
     )
     parser.add_argument("baseline", help="baseline results JSON")
     parser.add_argument("current", help="current results JSON")
@@ -126,8 +223,21 @@ def main():
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
 
-    baseline = load_runs(args.baseline)
-    current = load_runs(args.current)
+    baseline_doc = load_doc(args.baseline)
+    current_doc = load_doc(args.current)
+    if is_perf_doc(baseline_doc) != is_perf_doc(current_doc):
+        print(
+            "bench_compare: cannot compare an rwle_perf document against an "
+            "rwle_bench document",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if is_perf_doc(baseline_doc):
+        compare_perf(args, baseline_doc, current_doc)
+        return  # unreachable: compare_perf exits
+
+    baseline = load_runs(baseline_doc, args.baseline)
+    current = load_runs(current_doc, args.current)
 
     failures = []
     compared = 0

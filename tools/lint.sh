@@ -27,6 +27,13 @@ if [ -x "${BUILD_DIR}/bench/rwle_explore" ]; then
   "${BUILD_DIR}/bench/rwle_explore" --help >/dev/null
 fi
 
+# Same smoke for the wall-clock perf driver: --help and --list must both
+# succeed so the perf-smoke CI job never fails on flag wiring.
+if [ -x "${BUILD_DIR}/bench/rwle_perf" ]; then
+  "${BUILD_DIR}/bench/rwle_perf" --help >/dev/null
+  "${BUILD_DIR}/bench/rwle_perf" --list >/dev/null
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint: clang-tidy not found on PATH; skipping (install LLVM tools to enable)" >&2
   exit 0
