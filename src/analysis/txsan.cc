@@ -75,6 +75,8 @@ void TxSan::Enable(const Options& options, HtmRuntime* runtime) {
       target = runtime_;
     }
     runtime_ = target;
+    // Release: pairs with the acquire in enabled() so observers see the
+    // options/runtime set up above.
     enabled_.store(true, std::memory_order_release);
   }
   if (target == nullptr) {
@@ -82,20 +84,25 @@ void TxSan::Enable(const Options& options, HtmRuntime* runtime) {
     std::lock_guard<std::mutex> lock(mu_);
     runtime_ = target;
   }
+  // Release: pairs with the acquire loads in analysis_hooks::Notify* so a
+  // visible hook implies the fully-enabled TxSan above.
   analysis_hooks::on_thread_register.store(&TxSan::ThreadRegisterHook,
                                            std::memory_order_release);
   analysis_hooks::on_thread_unregister.store(&TxSan::ThreadUnregisterHook,
-                                             std::memory_order_release);
+                                             std::memory_order_release);  // release: as above
   target->set_analysis_observer(this);
 }
 
 void TxSan::Disable() {
+  // Release: keeps hook clears ordered after any state the hooks touched;
+  // pairs with the Notify* acquire loads.
   analysis_hooks::on_thread_register.store(nullptr, std::memory_order_release);
-  analysis_hooks::on_thread_unregister.store(nullptr, std::memory_order_release);
+  analysis_hooks::on_thread_unregister.store(nullptr, std::memory_order_release);  // release: as above
   std::lock_guard<std::mutex> lock(mu_);
   if (runtime_ != nullptr) {
     runtime_->set_analysis_observer(nullptr);
   }
+  // Release: pairs with the acquire in enabled().
   enabled_.store(false, std::memory_order_release);
 }
 
@@ -111,7 +118,8 @@ void TxSan::ResetState() {
     threads_[t].vc[t] = 1;
   }
   next_seq_ = 0;
-  events_observed_.store(0, std::memory_order_relaxed);
+  events_observed_.store(0, std::memory_order_relaxed);  // relaxed: counter
+  // Release: pairs with the acquire in violation_count() readers.
   violation_count_.store(0, std::memory_order_release);
   reports_.clear();
 }
@@ -133,6 +141,7 @@ bool TxSan::HasViolation(Invariant invariant) const {
 
 void TxSan::PrintSummary(std::FILE* out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Relaxed: summary printout under mu_; the counters are advisory here.
   std::fprintf(out, "txsan: %llu events observed, %llu violations\n",
                static_cast<unsigned long long>(events_observed_.load(std::memory_order_relaxed)),
                static_cast<unsigned long long>(violation_count_.load(std::memory_order_relaxed)));
@@ -225,6 +234,8 @@ std::string TxSan::FormatRingLocked(int tid) const {
 }
 
 void TxSan::ViolationLocked(Invariant invariant, int tid, std::string message) {
+  // Acq_rel: the release half publishes the report appended below (under
+  // mu_) to violation_count()'s acquire readers outside the lock.
   violation_count_.fetch_add(1, std::memory_order_acq_rel);
   std::string full = "txsan violation [";
   full += InvariantName(invariant);
@@ -456,7 +467,7 @@ void TxSan::ClearFootprintLocked(int tid) {
 
 void TxSan::OnTxBegin(std::uint32_t slot, TxKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -474,7 +485,7 @@ void TxSan::OnTxBegin(std::uint32_t slot, TxKind kind) {
 
 void TxSan::OnTxCommitting(std::uint32_t slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -532,7 +543,7 @@ void TxSan::OnTxCommitting(std::uint32_t slot) {
 
 void TxSan::OnTxCommitted(std::uint32_t slot, TxKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -568,7 +579,7 @@ void TxSan::OnTxCommitted(std::uint32_t slot, TxKind kind) {
 
 void TxSan::OnTxAborted(std::uint32_t slot, TxKind kind, AbortCause cause) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -602,7 +613,7 @@ void TxSan::OnTxAborted(std::uint32_t slot, TxKind kind, AbortCause cause) {
 
 void TxSan::OnTxSuspend(std::uint32_t slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -615,7 +626,7 @@ void TxSan::OnTxSuspend(std::uint32_t slot) {
 
 void TxSan::OnTxResume(std::uint32_t slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -631,7 +642,7 @@ void TxSan::OnTxResume(std::uint32_t slot) {
 void TxSan::OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
                                std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -654,7 +665,7 @@ void TxSan::OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* c
 void TxSan::OnBufferedLoad(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
                            std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -668,7 +679,7 @@ void TxSan::OnBufferedLoad(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
 std::uint64_t TxSan::ObservedLoad(FabricAccess access, std::uint32_t slot,
                                   std::atomic<std::uint64_t>* cell) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -703,7 +714,7 @@ std::uint64_t TxSan::ObservedLoad(FabricAccess access, std::uint32_t slot,
 void TxSan::ObservedStore(FabricAccess access, std::uint32_t slot,
                           std::atomic<std::uint64_t>* cell, std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -731,7 +742,7 @@ void TxSan::ObservedStore(FabricAccess access, std::uint32_t slot,
 bool TxSan::ObservedCas(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
                         std::uint64_t expected, std::uint64_t desired) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -758,7 +769,7 @@ bool TxSan::ObservedCas(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
 void TxSan::ObservedWriteBack(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
                               std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -781,7 +792,7 @@ void TxSan::ObservedWriteBack(std::uint32_t slot, std::atomic<std::uint64_t>* ce
 
 void TxSan::OnCellInit(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   // A fresh TxVar occupies this address (possibly placement-new over a
   // reused arena): drop every trace of the previous occupant.
   CellShadow& shadow = shadow_[cell];
@@ -803,7 +814,7 @@ TxSan::ThreadState::ReaderSection& TxSan::SectionLocked(ThreadState& state,
 
 void TxSan::OnReaderEnter(std::uint32_t slot, const void* clocks) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -819,7 +830,7 @@ void TxSan::OnReaderEnter(std::uint32_t slot, const void* clocks) {
 
 void TxSan::OnReaderExit(std::uint32_t slot, const void* clocks) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -834,7 +845,7 @@ void TxSan::OnReaderExit(std::uint32_t slot, const void* clocks) {
 
 void TxSan::OnQuiescenceBegin(std::uint32_t slot, const void* clocks) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -858,7 +869,7 @@ void TxSan::OnQuiescenceBegin(std::uint32_t slot, const void* clocks) {
 
 void TxSan::OnQuiescenceEnd(std::uint32_t slot, const void* clocks) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -887,7 +898,7 @@ void TxSan::OnQuiescenceEnd(std::uint32_t slot, const void* clocks) {
 
 void TxSan::OnElidedWriteBegin(std::uint32_t slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {
@@ -901,7 +912,7 @@ void TxSan::OnElidedWriteBegin(std::uint32_t slot) {
 
 void TxSan::OnElidedWriteEnd(std::uint32_t slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_observed_.fetch_add(1, std::memory_order_relaxed);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
   ThreadState& state = StateLocked(tid);
   if (slot != kInvalidThreadSlot) {

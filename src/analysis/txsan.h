@@ -83,6 +83,8 @@ class TxSan final : public FabricObserver {
   void Enable() { Enable(Options{}); }
   // Uninstalls the observer. Reports and counters are kept.
   void Disable();
+  // Acquire: pairs with Enable()'s release so a true flag implies the
+  // observer installation is visible.
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   // Drops all shadow state, vector clocks, mirrors, and reports. Only call
@@ -90,9 +92,12 @@ class TxSan final : public FabricObserver {
   void ResetState();
 
   std::uint64_t violation_count() const {
+    // Acquire: pairs with the reporting thread's release increment so a
+    // non-zero count guarantees the report it covers is visible.
     return violation_count_.load(std::memory_order_acquire);
   }
   std::uint64_t events_observed() const {
+    // Relaxed: monitoring counter only; no data is published with it.
     return events_observed_.load(std::memory_order_relaxed);
   }
   std::vector<Report> reports() const;

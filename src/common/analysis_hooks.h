@@ -21,10 +21,13 @@ inline std::atomic<ThreadHook> on_thread_register{nullptr};
 inline std::atomic<ThreadHook> on_thread_unregister{nullptr};
 
 inline void NotifyThreadRegister(std::uint32_t slot) {
+  // Acquire: pairs with the installer's release store so a non-null hook is
+  // seen with its backing state fully initialized.
   if (ThreadHook hook = on_thread_register.load(std::memory_order_acquire)) hook(slot);
 }
 
 inline void NotifyThreadUnregister(std::uint32_t slot) {
+  // Acquire: same pairing as NotifyThreadRegister above.
   if (ThreadHook hook = on_thread_unregister.load(std::memory_order_acquire)) hook(slot);
 }
 

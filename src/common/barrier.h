@@ -21,13 +21,24 @@ class SpinBarrier {
 
   // Blocks until all participants arrive. Reusable across phases.
   void Wait() {
+    // Relaxed: reading our own phase's sense; the flip itself synchronizes
+    // through the release store / acquire loop below.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    // Acq_rel: the last arriver must observe every participant's
+    // pre-barrier writes (acquire side) and orders this decrement before
+    // the publishing sense_ store below (release side).
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Relaxed: waiters re-read remaining_ only in the next phase, after
+      // observing the sense_ flip, which the release/acquire pair orders.
       remaining_.store(participants_, std::memory_order_relaxed);
+      // Release: publishes all pre-barrier writes (incl. the reset above)
+      // to the waiters' acquire loads.
       sense_.store(my_sense, std::memory_order_release);
       return;
     }
     std::uint32_t spins = 0;
+    // Acquire: pairs with the release store above, so work before the
+    // barrier happens-before work after it on every participant.
     while (sense_.load(std::memory_order_acquire) != my_sense) {
       SpinBackoff(spins++);
     }

@@ -79,6 +79,8 @@ using SchedPointHook = bool (*)(SchedPoint point, const void* addr);
 inline std::atomic<SchedPointHook> on_sched_point{nullptr};
 
 inline bool NotifySchedPoint(SchedPoint point, const void* addr) {
+  // Acquire: pairs with the scheduler's release store installing the hook,
+  // so a non-null hook sees the round state it was initialized with.
   if (SchedPointHook hook = on_sched_point.load(std::memory_order_acquire)) {
     return hook(point, addr);
   }

@@ -21,9 +21,17 @@ ThreadRegistry& ThreadRegistry::Global() {
 std::uint32_t ThreadRegistry::Register() {
   for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
     bool expected = false;
+    // Acq_rel: acquire the previous occupant's release in Unregister() so
+    // slot reuse happens-after its teardown; release pairs with the
+    // IsInUse() acquire loads of quiescence/aggregation scanners.
     if (in_use_[slot].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
       // Raise the scan watermark if this is the highest slot seen so far.
+      // Relaxed: the CAS below re-validates the value; a stale first read
+      // only costs one retry.
       std::uint32_t watermark = high_watermark_.load(std::memory_order_relaxed);
+      // Acq_rel CAS: the release side publishes the raise to
+      // HighWatermark()'s acquire readers, so a scanner that sees the new
+      // bound also sees this slot registered.
       while (watermark < slot + 1 &&
              !high_watermark_.compare_exchange_weak(watermark, slot + 1,
                                                     std::memory_order_acq_rel)) {
@@ -37,7 +45,10 @@ std::uint32_t ThreadRegistry::Register() {
 
 void ThreadRegistry::Unregister(std::uint32_t slot) {
   RWLE_CHECK(slot < kMaxThreads);
+  // Relaxed: sanity check of our own slot's flag; only this thread clears it.
   RWLE_CHECK(in_use_[slot].load(std::memory_order_relaxed));
+  // Release: everything this thread did happens-before a later Register()
+  // that recycles the slot (acq_rel CAS there) or an IsInUse() observer.
   in_use_[slot].store(false, std::memory_order_release);
 }
 

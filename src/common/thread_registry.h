@@ -26,10 +26,14 @@ class ThreadRegistry {
   // One past the largest slot ever handed out; scan bound for quiescence and
   // statistics aggregation.
   std::uint32_t HighWatermark() const {
+    // Acquire: pairs with the release bump in Register() so a scanner that
+    // observes the new watermark also observes the slot's registration.
     return high_watermark_.load(std::memory_order_acquire);
   }
 
   bool IsInUse(std::uint32_t slot) const {
+    // Acquire: pairs with the release store in Register() -- seeing the
+    // slot in use implies seeing everything its thread did before that.
     return in_use_[slot].load(std::memory_order_acquire);
   }
 

@@ -24,7 +24,9 @@ void InitFromEnv(HtmRuntime* runtime);
 HtmRuntime& HtmRuntime::Global() {
   static HtmRuntime runtime;
 #ifdef RWLE_ANALYSIS
-  static const bool analysis_init = (txsan::InitFromEnv(&runtime), true);
+  // Sanctioned bootstrap: the one place analysis builds wire txsan into the
+  // runtime; it is inside #ifdef RWLE_ANALYSIS so production stays hook-free.
+  static const bool analysis_init = (txsan::InitFromEnv(&runtime), true);  // rwle-lint: disable(hook-hygiene)
   (void)analysis_init;
 #endif
   return runtime;

@@ -123,9 +123,13 @@ class HtmRuntime {
   // against an unmodified interface, but all invocation sites are inside
   // #ifdef RWLE_ANALYSIS: production hot paths never test it.
   void set_analysis_observer(FabricObserver* observer) {
+    // Release: publishes the observer object's construction to threads that
+    // load the pointer with acquire below.
     analysis_observer_.store(observer, std::memory_order_release);
   }
   FabricObserver* analysis_observer() const {
+    // Acquire: pairs with the release store above so a non-null observer is
+    // seen fully constructed.
     return analysis_observer_.load(std::memory_order_acquire);
   }
 
@@ -136,8 +140,12 @@ class HtmRuntime {
   // flight; relaxed loads suffice because workers only start after the
   // store (thread creation synchronizes).
   void set_trace_sink(TraceSink* sink) {
+    // Release: orders the sink's construction before the pointer becomes
+    // visible (belt-and-braces; thread creation already synchronizes).
     trace_sink_.store(sink, std::memory_order_release);
   }
+  // Relaxed: see block comment above -- workers start after the store, so
+  // thread creation provides the happens-before edge.
   TraceSink* trace_sink() const { return trace_sink_.load(std::memory_order_relaxed); }
 
 #ifdef RWLE_ANALYSIS
@@ -161,6 +169,8 @@ class HtmRuntime {
     if (FabricObserver* obs = analysis_observer()) {
       return obs->ObservedLoad(FabricAccess::kDirect, CurrentThreadSlot(), cell);
     }
+    // Relaxed: Direct accesses are contractually race-free (no transaction
+    // in flight), so no ordering is required.
     return cell->load(std::memory_order_relaxed);
   }
   void DirectCellStore(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
@@ -168,6 +178,7 @@ class HtmRuntime {
       obs->ObservedStore(FabricAccess::kDirect, CurrentThreadSlot(), cell, value);
       return;
     }
+    // Relaxed: same contract as DirectCellLoad above -- race-free by spec.
     cell->store(value, std::memory_order_relaxed);
   }
   void CellInit(std::atomic<std::uint64_t>* cell, std::uint64_t value) {

@@ -101,7 +101,10 @@ class TxWriteSet {
   std::uint32_t Probe(const std::atomic<std::uint64_t>* cell) const {
     const std::uint32_t mask = static_cast<std::uint32_t>(table_.size()) - 1;
     std::uint32_t pos = Hash(cell) & mask;
-    for (;;) {
+    // Bounded probe over this thread's private table (load factor < 1
+    // guarantees an empty slot); never waits on another thread, so no
+    // scheduling point belongs here.
+    for (;;) {  // rwle-lint: disable(sched-point)
       const std::uint32_t idx = table_[pos];
       if (idx == 0 || entries_[idx - 1].cell == cell) {
         return pos;

@@ -71,6 +71,9 @@ class BrLock {
     for (;;) {
       RWLE_SCHED_POINT(kLockAcquire, &mutexes_[slot].locked);
       bool expected = false;
+      // Test-and-test-and-set: relaxed probe keeps the line shared while
+      // busy; the acquire CAS pairs with UnlockOne()'s release so this
+      // section sees the previous holder's writes.
       if (!mutexes_[slot].locked.load(std::memory_order_relaxed) &&
           mutexes_[slot].locked.compare_exchange_strong(expected, true,
                                                         std::memory_order_acquire)) {
@@ -85,6 +88,7 @@ class BrLock {
   void UnlockOne(std::uint32_t slot) {
     RWLE_SCHED_POINT(kLockRelease, &mutexes_[slot].locked);
     CostMeter::Global().Charge(CostModel::kLockOp);
+    // Release: publishes the critical section to the next acquirer's CAS.
     mutexes_[slot].locked.store(false, std::memory_order_release);
   }
 

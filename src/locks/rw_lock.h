@@ -63,10 +63,14 @@ class RwLock {
   void AcquireShared() {
     std::uint32_t spins = 0;
     for (;;) {
+      // Relaxed: optimistic snapshot only; the acquiring CAS below
+      // re-validates it and provides the ordering.
       const std::uint64_t state = state_.load(std::memory_order_relaxed);
       // Writer preference: new readers wait while a writer holds or waits.
       if ((state & kWriterActive) == 0 && state < kWriterWaitingOne) {
         std::uint64_t expected = state;
+        // Acquire: pairs with the release in ReleaseExclusive() so the
+        // critical section sees every write of the previous writer.
         if (state_.compare_exchange_weak(expected, state + kReaderOne,
                                          std::memory_order_acquire)) {
           // Centralized reader counter: the RMW bounces the line across all
@@ -81,16 +85,23 @@ class RwLock {
 
   void ReleaseShared() {
     CostMeter::Global().ChargeContended(CostModel::kLockOp);
+    // Release: the reader's loads happen-before a writer that observes the
+    // counter hit zero via its acquiring CAS.
     state_.fetch_sub(kReaderOne, std::memory_order_release);
   }
 
   void AcquireExclusive() {
+    // Relaxed: registering intent only -- readers test the waiting bits for
+    // writer preference, no data is published by this increment.
     state_.fetch_add(kWriterWaitingOne, std::memory_order_relaxed);
     std::uint32_t spins = 0;
     for (;;) {
+      // Relaxed: optimistic snapshot; the acquiring CAS re-validates it.
       const std::uint64_t state = state_.load(std::memory_order_relaxed);
       if ((state & (kReaderMask | kWriterActive)) == 0) {
         std::uint64_t expected = state;
+        // Acquire: pairs with the releases of departing readers/writers so
+        // the exclusive section sees all their writes.
         if (state_.compare_exchange_weak(
                 expected, state - kWriterWaitingOne + kWriterActive,
                 std::memory_order_acquire)) {
@@ -104,6 +115,7 @@ class RwLock {
 
   void ReleaseExclusive() {
     CostMeter::Global().ChargeContended(CostModel::kLockOp);
+    // Release: publishes the writer's section to the next acquiring CAS.
     state_.fetch_sub(kWriterActive, std::memory_order_release);
   }
 

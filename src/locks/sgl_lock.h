@@ -50,6 +50,10 @@ class SglLock {
     for (;;) {
       RWLE_SCHED_POINT(kLockAcquire, &locked_);
       bool expected = false;
+      // Test-and-test-and-set: the relaxed load is an optimistic probe that
+      // keeps the line shared while busy; the acquire CAS pairs with the
+      // release in Release() so the section sees the previous holder's
+      // writes.
       if (!locked_.load(std::memory_order_relaxed) &&
           locked_.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
         CostMeter::Global().ChargeContended(CostModel::kLockOp);  // central line RMW
@@ -62,6 +66,7 @@ class SglLock {
   void Release() {
     RWLE_SCHED_POINT(kLockRelease, &locked_);
     CostMeter::Global().ChargeContended(CostModel::kLockOp);
+    // Release: publishes the critical section to the next acquire CAS.
     locked_.store(false, std::memory_order_release);
   }
 

@@ -61,6 +61,8 @@ class TxMutex {
     }
     std::uint32_t spins = 0;
     for (;;) {
+      // Relaxed probe: ordering comes from the fabric CAS (CellCas is a
+      // seq_cst RMW), the relaxed load only avoids bouncing the line.
       if (word_.load(std::memory_order_relaxed) == 0 && runtime.CellCas(&word_, 0, 1)) {
         return Acquisition::kPhysical;
       }
@@ -79,6 +81,7 @@ class TxMutex {
     }
   }
 
+  // Relaxed: diagnostic peek for tests/assertions; no ordering implied.
   bool IsLockedDirect() const { return word_.load(std::memory_order_relaxed) != 0; }
 
  private:

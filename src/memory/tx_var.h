@@ -44,8 +44,11 @@ class TxVar {
   T LoadDirect() const { return Decode(HtmRuntime::Global().DirectCellLoad(&bits_)); }
   void StoreDirect(T value) { HtmRuntime::Global().DirectCellStore(&bits_, Encode(value)); }
 #else
+  // Relaxed: by contract no transaction can observe these accesses (the
+  // caller guarantees single-threaded setup/verification), so there is no
+  // concurrent access to order against.
   T LoadDirect() const { return Decode(bits_.load(std::memory_order_relaxed)); }
-  void StoreDirect(T value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+  void StoreDirect(T value) { bits_.store(Encode(value), std::memory_order_relaxed); }  // relaxed: as above
 #endif
 
  private:

@@ -32,6 +32,8 @@ class AdaptiveTuner {
       : htm_budget_(initial_htm), rot_budget_(initial_rot) {}
 
   Budgets Current() const {
+    // Relaxed: budgets are tuning hints, not synchronization -- a stale
+    // read only delays adopting the new budget by one acquisition.
     return {htm_budget_.load(std::memory_order_relaxed),
             rot_budget_.load(std::memory_order_relaxed)};
   }
@@ -40,14 +42,19 @@ class AdaptiveTuner {
   // committed and the number of aborted attempts per speculative path.
   void ReportWrite(CommitPath committed, std::uint32_t htm_aborts,
                    std::uint32_t rot_aborts) {
+    // Relaxed throughout: these are statistical counters -- atomicity keeps
+    // the tallies exact under concurrent reporters, but no thread orders
+    // other memory against them, and Retune() tolerates window skew.
     if (committed == CommitPath::kHtm) {
-      htm_commits_.fetch_add(1, std::memory_order_relaxed);
+      htm_commits_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
     } else if (committed == CommitPath::kRot) {
-      rot_commits_.fetch_add(1, std::memory_order_relaxed);
+      rot_commits_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
     }
-    htm_aborts_.fetch_add(htm_aborts, std::memory_order_relaxed);
-    rot_aborts_.fetch_add(rot_aborts, std::memory_order_relaxed);
+    htm_aborts_.fetch_add(htm_aborts, std::memory_order_relaxed);  // relaxed: counter
+    rot_aborts_.fetch_add(rot_aborts, std::memory_order_relaxed);  // relaxed: counter
 
+    // Relaxed: the window trigger needs the count, not ordering; reporters
+    // racing past the boundary merely shift which one pays for Retune().
     const std::uint64_t writes = writes_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (writes % kWindow == 0) {
       Retune();
@@ -56,10 +63,13 @@ class AdaptiveTuner {
 
  private:
   void Retune() {
+    // Relaxed: draining the window counters; reports racing with the drain
+    // land in whichever window observes them, which only blurs the sample
+    // boundary -- no other memory is ordered against these.
     const std::uint64_t htm_commits = htm_commits_.exchange(0, std::memory_order_relaxed);
-    const std::uint64_t rot_commits = rot_commits_.exchange(0, std::memory_order_relaxed);
-    const std::uint64_t htm_aborts = htm_aborts_.exchange(0, std::memory_order_relaxed);
-    const std::uint64_t rot_aborts = rot_aborts_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t rot_commits = rot_commits_.exchange(0, std::memory_order_relaxed);  // relaxed: see above
+    const std::uint64_t htm_aborts = htm_aborts_.exchange(0, std::memory_order_relaxed);  // relaxed: see above
+    const std::uint64_t rot_aborts = rot_aborts_.exchange(0, std::memory_order_relaxed);  // relaxed: see above
 
     AdjustBudget(&htm_budget_, htm_commits, htm_aborts);
     AdjustBudget(&rot_budget_, rot_commits, rot_aborts);
@@ -72,15 +82,17 @@ class AdaptiveTuner {
       return;  // too few samples on this path to judge
     }
     const double success = static_cast<double>(commits) / attempts;
+    // Relaxed: only the window owner writes budgets, and readers treat them
+    // as hints (Current() above) -- no publication ordering required.
     const std::uint32_t current = budget->load(std::memory_order_relaxed);
     if (success < 0.10) {
       // The path almost never pays off: spend at most one probe attempt so
       // the workload can be re-detected if it shifts.
       if (current > 1) {
-        budget->store(current - 1, std::memory_order_relaxed);
+        budget->store(current - 1, std::memory_order_relaxed);  // relaxed: hint
       }
     } else if (success > 0.50 && current < kMaxBudget) {
-      budget->store(current + 1, std::memory_order_relaxed);
+      budget->store(current + 1, std::memory_order_relaxed);  // relaxed: hint
     }
   }
 

@@ -79,6 +79,8 @@ class RwLeBasicLock {
       bool expected = false;
       if (!wlock_.load(std::memory_order_seq_cst) &&
           wlock_.compare_exchange_strong(expected, true, std::memory_order_seq_cst)) {
+        // Relaxed: holder_ is advisory (only the holder itself compares it
+        // against its own slot); the seq_cst CAS above orders the lock.
         holder_.store(CurrentThreadSlot(), std::memory_order_relaxed);
         return;
       }
@@ -87,11 +89,14 @@ class RwLeBasicLock {
   }
 
   void ReleaseWriterLock() {
+    // Relaxed: advisory clear; the seq_cst wlock_ store below publishes it.
     holder_.store(kInvalidThreadSlot, std::memory_order_relaxed);
     wlock_.store(false, std::memory_order_seq_cst);
   }
 
   void ReleaseWriterLockIfHeld() {
+    // Relaxed: a thread reads only its own prior holder_ store here, so
+    // program order suffices -- no cross-thread synchronization needed.
     if (holder_.load(std::memory_order_relaxed) == CurrentThreadSlot()) {
       ReleaseWriterLock();
     }

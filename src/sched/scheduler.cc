@@ -43,6 +43,8 @@ void Scheduler::BeginRound(Strategy* strategy, const RoundOptions& options) {
   trace_ = ScheduleTrace{};
   trace_.threads = options.threads;
   trace_.strategy = strategy->name();
+  // Release: publishes the round state initialized above to workers whose
+  // acquire load of the hook pointer observes it.
   sched_hooks::on_sched_point.store(&Scheduler::HookTrampoline, std::memory_order_release);
 }
 
@@ -50,6 +52,8 @@ ScheduleTrace Scheduler::EndRound() {
   std::lock_guard<std::mutex> lock(mu_);
   RWLE_CHECK(round_active_);
   RWLE_CHECK(live_ == 0);  // controller must join the workers first
+  // Release: orders the round teardown after the hook disappears for any
+  // late acquire reader (workers are already joined per the check above).
   sched_hooks::on_sched_point.store(nullptr, std::memory_order_release);
   round_active_ = false;
   strategy_ = nullptr;
@@ -169,15 +173,24 @@ std::atomic<std::uint64_t> g_scheduled_runs_seed{0};
 }  // namespace
 
 void EnableScheduledRuns(std::uint64_t seed) {
+  // Relaxed seed + release flag: the release store below publishes the seed
+  // to any thread whose acquire load sees the flag set.
   g_scheduled_runs_seed.store(seed, std::memory_order_relaxed);
+  // Release: pairs with the acquire in ScheduledRunsEnabled().
   g_scheduled_runs.store(true, std::memory_order_release);
 }
 
+// Release: keeps flag stores totally ordered with Enable; no data rides on
+// the disable edge.
 void DisableScheduledRuns() { g_scheduled_runs.store(false, std::memory_order_release); }
 
+// Acquire: pairs with EnableScheduledRuns()'s release so a true flag
+// guarantees the seed store is visible.
 bool ScheduledRunsEnabled() { return g_scheduled_runs.load(std::memory_order_acquire); }
 
 std::uint64_t ScheduledRunsSeed() {
+  // Relaxed: callers check ScheduledRunsEnabled() first; its acquire edge
+  // already made this seed visible.
   return g_scheduled_runs_seed.load(std::memory_order_relaxed);
 }
 

@@ -88,11 +88,14 @@ class CostMeter {
   // collapse at high thread counts in the paper's figures. Per-thread lines
   // (RW-LE epoch clocks, BRLock private mutexes) use plain Charge instead.
   void ChargeContended(std::uint64_t units) {
+    // Relaxed: the factor is a run-wide constant set before workers start
+    // (thread creation synchronizes); no ordering needed per charge.
     Charge(units * contention_factor_.load(std::memory_order_relaxed));
   }
 
   // Set by the harness to the thread count of the current run.
   void set_contention_factor(std::uint32_t factor) {
+    // Relaxed: written while single-threaded, before workers are spawned.
     contention_factor_.store(factor == 0 ? 1 : factor, std::memory_order_relaxed);
   }
 

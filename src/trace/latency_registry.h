@@ -47,15 +47,21 @@ class LatencyRegistry {
   LatencyRegistry& operator=(const LatencyRegistry&) = delete;
   ~LatencyRegistry() {
     for (auto& shard : shards_) {
+      // Acquire: pairs with the owner thread's release publication so the
+      // shard is seen fully constructed before deletion.
       delete shard.load(std::memory_order_acquire);
     }
   }
 
   // Owner-thread write; allocates this slot's shard on first use.
   void Record(std::uint32_t slot, OpKind op, CommitPath path, std::uint64_t cycles) {
+    // Relaxed: only the owner thread writes this slot, so it reads its own
+    // prior store -- program order suffices.
     Shard* shard = shards_[slot].load(std::memory_order_relaxed);
     if (shard == nullptr) {
       shard = new Shard();
+      // Release: publishes the shard's construction to the cross-thread
+      // acquire loads in Snapshot()/Reset()/the destructor.
       shards_[slot].store(shard, std::memory_order_release);
     }
     shard->hist[static_cast<int>(op)][static_cast<int>(path)].Record(cycles);
@@ -70,6 +76,8 @@ class LatencyRegistry {
       for (int path = 0; path < kCommitPathCount; ++path) {
         LatencyHistogram merged;
         for (const auto& entry : shards_) {
+          // Acquire: pairs with Record()'s release so the shard is seen
+          // fully constructed (histogram contents are quiesced by contract).
           if (const Shard* shard = entry.load(std::memory_order_acquire)) {
             merged.Merge(shard->hist[op][path]);
           }
@@ -85,6 +93,7 @@ class LatencyRegistry {
   // Clears all counters (shards stay allocated). Same caveat as Snapshot.
   void Reset() {
     for (auto& entry : shards_) {
+      // Acquire: same pairing as Snapshot() -- see above.
       if (Shard* shard = entry.load(std::memory_order_acquire)) {
         for (auto& per_op : shard->hist) {
           for (auto& hist : per_op) {

@@ -89,6 +89,8 @@ class MemoryTraceSink final : public TraceSink {
 
   ~MemoryTraceSink() override {
     for (auto& lane : lanes_) {
+      // Acquire: pairs with Emit()'s release publication so the lane is
+      // seen fully constructed before deletion.
       delete lane.load(std::memory_order_acquire);
     }
   }
@@ -97,13 +99,19 @@ class MemoryTraceSink final : public TraceSink {
   MemoryTraceSink& operator=(const MemoryTraceSink&) = delete;
 
   void Emit(const TraceEvent& event) override {
+    // Relaxed: each lane slot is written only by its owner thread, which
+    // reads its own prior store -- program order suffices.
     Lane* lane = lanes_[event.thread_slot].load(std::memory_order_relaxed);
     if (lane == nullptr) {
       lane = new Lane(lane_capacity_);
+      // Release: publishes the lane's construction to the cross-thread
+      // acquire loads in the readers below.
       lanes_[event.thread_slot].store(lane, std::memory_order_release);
     }
     TraceEvent stamped = event;
     stamped.seq = lane->next_seq++;
+    // Relaxed: the run id is changed only between runs while workers are
+    // quiesced; an off-by-one-event stamp at a run boundary is harmless.
     stamped.run_id = current_run_.load(std::memory_order_relaxed);
     lane->ring.Push(stamped);
   }
@@ -115,6 +123,8 @@ class MemoryTraceSink final : public TraceSink {
                          std::uint32_t threads) {
     runs_.push_back(RunInfo{scenario_, scheme, panel_value, threads});
     const std::uint32_t id = static_cast<std::uint32_t>(runs_.size() - 1);
+    // Relaxed: called between runs while no worker emits; the run start's
+    // thread creation/join provides the ordering.
     current_run_.store(id, std::memory_order_relaxed);
     return id;
   }
@@ -122,6 +132,7 @@ class MemoryTraceSink final : public TraceSink {
   const std::vector<RunInfo>& runs() const { return runs_; }
 
   bool HasLane(std::uint32_t slot) const {
+    // Acquire: pairs with Emit()'s release so a non-null lane is usable.
     return lanes_[slot].load(std::memory_order_acquire) != nullptr;
   }
 
@@ -129,6 +140,8 @@ class MemoryTraceSink final : public TraceSink {
   // that never emitted.
   template <typename Fn>
   void ForEachLaneEvent(std::uint32_t slot, Fn&& fn) const {
+    // Acquire: pairs with Emit()'s release publication; ring contents are
+    // quiesced by contract (readers run between runs).
     if (const Lane* lane = lanes_[slot].load(std::memory_order_acquire)) {
       lane->ring.ForEach(fn);
     }
@@ -137,6 +150,7 @@ class MemoryTraceSink final : public TraceSink {
   std::uint64_t TotalEvents() const {
     std::uint64_t total = 0;
     for (const auto& entry : lanes_) {
+      // Acquire: same pairing as ForEachLaneEvent -- see above.
       if (const Lane* lane = entry.load(std::memory_order_acquire)) {
         total += lane->ring.pushed();
       }
@@ -147,6 +161,7 @@ class MemoryTraceSink final : public TraceSink {
   std::uint64_t DroppedEvents() const {
     std::uint64_t total = 0;
     for (const auto& entry : lanes_) {
+      // Acquire: same pairing as ForEachLaneEvent -- see above.
       if (const Lane* lane = entry.load(std::memory_order_acquire)) {
         total += lane->ring.dropped();
       }

@@ -37,9 +37,11 @@ class TxHashMap {
 
   ~TxHashMap() {
     for (auto& bucket : buckets_) {
+      // Direct: destructor runs after all workers joined; no transaction
+      // can observe the teardown walk.
       Node* node = bucket.head.LoadDirect();
       while (node != nullptr) {
-        Node* next = node->next.LoadDirect();
+        Node* next = node->next.LoadDirect();  // direct: teardown, as above
         delete node;
         node = next;
       }
@@ -72,10 +74,10 @@ class TxHashMap {
       for (std::size_t i = 0; i < per_bucket; ++i) {
         const std::uint64_t key = i * buckets_.size() + b;
         Node* node = new Node(key, key * 3);
-        node->next.StoreDirect(head);
+        node->next.StoreDirect(head);  // direct: single-threaded setup
         head = node;
       }
-      buckets_[b].head.StoreDirect(head);
+      buckets_[b].head.StoreDirect(head);  // direct: single-threaded setup
     }
   }
 
@@ -159,8 +161,9 @@ class TxHashMap {
   std::uint64_t SizeDirect() const {
     std::uint64_t count = 0;
     for (const auto& bucket : buckets_) {
+      // Direct: post-run verification walk; workers are quiesced.
       for (Node* node = bucket.head.LoadDirect(); node != nullptr;
-           node = node->next.LoadDirect()) {
+           node = node->next.LoadDirect()) {  // direct: verification, as above
         ++count;
       }
     }
@@ -170,9 +173,10 @@ class TxHashMap {
   std::uint64_t KeySumDirect() const {
     std::uint64_t sum = 0;
     for (const auto& bucket : buckets_) {
+      // Direct: post-run verification walk; workers are quiesced.
       for (Node* node = bucket.head.LoadDirect(); node != nullptr;
-           node = node->next.LoadDirect()) {
-        sum += node->key.LoadDirect();
+           node = node->next.LoadDirect()) {  // direct: verification, as above
+        sum += node->key.LoadDirect();  // direct: verification, as above
       }
     }
     return sum;

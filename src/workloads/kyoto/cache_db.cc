@@ -41,13 +41,15 @@ CacheDb::CacheDb(const CacheDbConfig& config) : config_(config) {
     Record* record = new Record;
     if (rng.NextBool(populate_probability)) {
       TxVar<Record*>& bucket = BucketFor(slot, key);
+      // Direct: single-threaded population before any worker starts.
       record->key.StoreDirect(key);
-      record->value.StoreDirect(rng.Next());
-      record->next.StoreDirect(bucket.LoadDirect());
-      bucket.StoreDirect(record);
+      record->value.StoreDirect(rng.Next());     // direct: setup, as above
+      record->next.StoreDirect(bucket.LoadDirect());  // direct: setup, as above
+      bucket.StoreDirect(record);                // direct: setup, as above
     } else {
+      // Direct: single-threaded population, as above.
       record->next.StoreDirect(slot.free_list.LoadDirect());
-      slot.free_list.StoreDirect(record);
+      slot.free_list.StoreDirect(record);        // direct: setup, as above
     }
   }
 }
@@ -55,16 +57,19 @@ CacheDb::CacheDb(const CacheDbConfig& config) : config_(config) {
 CacheDb::~CacheDb() {
   for (auto& slot : slots_) {
     for (auto& bucket : slot->buckets) {
+      // Direct: destructor runs after all workers joined; no transaction
+      // can observe the teardown walk.
       Record* record = bucket.LoadDirect();
       while (record != nullptr) {
-        Record* next = record->next.LoadDirect();
+        Record* next = record->next.LoadDirect();  // direct: teardown, as above
         delete record;
         record = next;
       }
     }
+    // Direct: teardown, as above.
     Record* record = slot->free_list.LoadDirect();
     while (record != nullptr) {
-      Record* next = record->next.LoadDirect();
+      Record* next = record->next.LoadDirect();  // direct: teardown, as above
       delete record;
       record = next;
     }
@@ -242,7 +247,8 @@ std::uint64_t CacheDb::CountDirect() const {
   std::uint64_t count = 0;
   for (const auto& slot : slots_) {
     for (const auto& bucket : slot->buckets) {
-      for (Record* r = bucket.LoadDirect(); r != nullptr; r = r->next.LoadDirect()) {
+      // Direct: post-run verification count; workers are quiesced.
+      for (Record* r = bucket.LoadDirect(); r != nullptr; r = r->next.LoadDirect()) {  // direct: verification
         ++count;
       }
     }
@@ -254,8 +260,9 @@ bool CacheDb::CheckChainsDirect() const {
   for (const auto& slot : slots_) {
     for (std::size_t b = 0; b < slot->buckets.size(); ++b) {
       std::uint64_t steps = 0;
+      // Direct: post-run chain check; workers are quiesced.
       for (Record* r = slot->buckets[b].LoadDirect(); r != nullptr;
-           r = r->next.LoadDirect()) {
+           r = r->next.LoadDirect()) {  // direct: verification, as above
         // Keys must hash to this slot and bucket; chains must be acyclic
         // (bounded by the total record count).
         if (++steps > config_.initial_records + config_.key_space) {

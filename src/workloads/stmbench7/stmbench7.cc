@@ -15,28 +15,28 @@ Stmbench7Db::Stmbench7Db(const Stmbench7Config& config, std::uint64_t seed)
   composites_.reserve(config_.composite_parts);
   for (std::uint32_t c = 0; c < config_.composite_parts; ++c) {
     auto composite = std::make_unique<CompositePart>();
-    composite->id.StoreDirect(c);
-    composite->build_date.StoreDirect(rng.NextBelow(1000));
-    composite->document.id.StoreDirect(c);
-    composite->document.revision.StoreDirect(0);
-    composite->document.text_hash.StoreDirect(rng.Next());
+    composite->id.StoreDirect(c);  // direct: single-threaded setup
+    composite->build_date.StoreDirect(rng.NextBelow(1000));  // direct: single-threaded setup
+    composite->document.id.StoreDirect(c);  // direct: single-threaded setup
+    composite->document.revision.StoreDirect(0);  // direct: single-threaded setup
+    composite->document.text_hash.StoreDirect(rng.Next());  // direct: single-threaded setup
 
     composite->parts.reserve(config_.atomic_parts_per_composite);
     for (std::uint32_t p = 0; p < config_.atomic_parts_per_composite; ++p) {
       auto part = std::make_unique<AtomicPart>();
-      part->id.StoreDirect(static_cast<std::uint64_t>(c) * 1000 + p);
-      part->x.StoreDirect(rng.NextBelow(10000));
-      part->y.StoreDirect(rng.NextBelow(10000));
-      part->build_date.StoreDirect(rng.NextBelow(1000));
+      part->id.StoreDirect(static_cast<std::uint64_t>(c) * 1000 + p);  // direct: single-threaded setup
+      part->x.StoreDirect(rng.NextBelow(10000));  // direct: single-threaded setup
+      part->y.StoreDirect(rng.NextBelow(10000));  // direct: single-threaded setup
+      part->build_date.StoreDirect(rng.NextBelow(1000));  // direct: single-threaded setup
       composite->parts.push_back(std::move(part));
     }
     // Ring: p -> p+1 -> ... -> p; chords: random intra-composite edges.
     const std::uint32_t n = config_.atomic_parts_per_composite;
     for (std::uint32_t p = 0; p < n; ++p) {
-      composite->parts[p]->next.StoreDirect(composite->parts[(p + 1) % n].get());
-      composite->parts[p]->chord.StoreDirect(composite->parts[rng.NextBelow(n)].get());
+      composite->parts[p]->next.StoreDirect(composite->parts[(p + 1) % n].get());  // direct: single-threaded setup
+      composite->parts[p]->chord.StoreDirect(composite->parts[rng.NextBelow(n)].get());  // direct: single-threaded setup
     }
-    composite->root_part.StoreDirect(composite->parts[0].get());
+    composite->root_part.StoreDirect(composite->parts[0].get());  // direct: single-threaded setup
     composites_.push_back(std::move(composite));
   }
 
@@ -44,10 +44,10 @@ Stmbench7Db::Stmbench7Db(const Stmbench7Config& config, std::uint64_t seed)
   bases_.reserve(config_.base_assemblies);
   for (std::uint32_t b = 0; b < config_.base_assemblies; ++b) {
     auto base = std::make_unique<BaseAssembly>();
-    base->id.StoreDirect(b);
+    base->id.StoreDirect(b);  // direct: single-threaded setup
     base->components = std::vector<TxVar<CompositePart*>>(config_.composites_per_base);
     for (std::uint32_t s = 0; s < config_.composites_per_base; ++s) {
-      base->components[s].StoreDirect(
+      base->components[s].StoreDirect(  // direct: single-threaded setup
           composites_[rng.NextBelow(composites_.size())].get());
     }
     bases_.push_back(std::move(base));
@@ -59,7 +59,7 @@ Stmbench7Db::Stmbench7Db(const Stmbench7Config& config, std::uint64_t seed)
   std::uint64_t next_id = 0;
   auto make_assembly = [&] {
     auto assembly = std::make_unique<ComplexAssembly>();
-    assembly->id.StoreDirect(next_id++);
+    assembly->id.StoreDirect(next_id++);  // direct: single-threaded setup
     assemblies_.push_back(std::move(assembly));
     return assemblies_.back().get();
   };
@@ -220,7 +220,7 @@ bool Stmbench7Db::CheckTopologyDirect() const {
       if (!found) {
         return false;
       }
-      part = part->next.LoadDirect();
+      part = part->next.LoadDirect();  // direct: post-run verification walk
       ++steps;
     } while (part != start);
     if (steps != n) {

@@ -20,15 +20,15 @@ TpccDb::TpccDb(const TpccConfig& config) : config_(config) {
     items_.push_back(Item{.price = rng.NextInRange(1, 100)});
   }
   for (auto& warehouse : warehouses_) {
-    warehouse.tax.StoreDirect(rng.NextBelow(20));
+    warehouse.tax.StoreDirect(rng.NextBelow(20));  // direct: single-threaded setup
   }
   for (auto& district : districts_) {
-    district.tax.StoreDirect(rng.NextBelow(20));
-    district.next_order_id.StoreDirect(0);
-    district.oldest_undelivered.StoreDirect(0);
+    district.tax.StoreDirect(rng.NextBelow(20));  // direct: single-threaded setup
+    district.next_order_id.StoreDirect(0);  // direct: single-threaded setup
+    district.oldest_undelivered.StoreDirect(0);  // direct: single-threaded setup
   }
   for (auto& row : stock_) {
-    row.quantity.StoreDirect(rng.NextInRange(50, 100));
+    row.quantity.StoreDirect(rng.NextInRange(50, 100));  // direct: single-threaded setup
   }
 
   // Order rings: preallocated slots with full line capacity.
@@ -175,11 +175,11 @@ std::uint64_t TpccDb::StockLevel(std::uint32_t warehouse, std::uint32_t district
 std::uint64_t TpccDb::TotalYtdDirect() const {
   std::uint64_t warehouse_total = 0;
   for (const auto& warehouse : warehouses_) {
-    warehouse_total += warehouse.ytd.LoadDirect();
+    warehouse_total += warehouse.ytd.LoadDirect();  // direct: post-run verification
   }
   std::uint64_t district_total = 0;
   for (const auto& district : districts_) {
-    district_total += district.ytd.LoadDirect();
+    district_total += district.ytd.LoadDirect();  // direct: post-run verification
   }
   // Payment updates both by the same amount, so they must agree.
   RWLE_CHECK(warehouse_total == district_total);
@@ -188,15 +188,15 @@ std::uint64_t TpccDb::TotalYtdDirect() const {
 
 bool TpccDb::CheckOrderRingsDirect() const {
   for (std::size_t d = 0; d < districts_.size(); ++d) {
-    const std::uint64_t next = districts_[d].next_order_id.LoadDirect();
+    const std::uint64_t next = districts_[d].next_order_id.LoadDirect();  // direct: post-run verification
     const std::uint64_t first =
         next > config_.order_ring_size ? next - config_.order_ring_size : 0;
     for (std::uint64_t o = first; o < next; ++o) {
       const Order& order = OrderSlot(d, o);
-      if (order.id.LoadDirect() != o) {
+      if (order.id.LoadDirect() != o) {  // direct: post-run verification
         return false;
       }
-      if (order.line_count.LoadDirect() > config_.max_order_lines) {
+      if (order.line_count.LoadDirect() > config_.max_order_lines) {  // direct: post-run verification
         return false;
       }
     }

@@ -1,22 +1,42 @@
 #!/usr/bin/env sh
-# Lints the project: byte-compiles the Python tooling (tools/*.py), then
-# runs clang-tidy over all C++ translation units using the compile database
-# of the build directory passed as $1 (default: ./build). The clang-tidy
-# step degrades to a no-op (exit 0) when clang-tidy is not installed so
-# that `cmake --build build --target lint` never breaks a box without LLVM
-# tools; CI installs clang-tidy and therefore gets the real check.
+# Lints the project: byte-compiles the Python tooling (tools/*.py), runs the
+# rwle_lint invariant checker (DESIGN.md §11), then runs clang-tidy over all
+# C++ translation units using the compile database of the build directory
+# passed as $1 (default: ./build).
+#
+# Tool-availability policy: by default the clang-tidy step degrades to a
+# no-op (exit 0) when clang-tidy is not installed, and rwle_lint falls back
+# to its built-in lexer backend when libclang is missing, so that
+# `cmake --build build --target lint` never breaks a box without LLVM
+# tools. Set REQUIRE_LINT=1 (CI does) to invert that: missing clang-tidy or
+# libclang then FAILS the lint run, so the authoritative toolchain can
+# never be silently skipped where it matters.
 set -eu
 
 BUILD_DIR="${1:-build}"
+REQUIRE_LINT="${REQUIRE_LINT:-0}"
 
-# Python tooling (bench_compare.py, trace_summarize.py, ...): syntax-check
-# every script, then smoke --help so argparse wiring errors (bad defaults,
-# duplicate flags) fail lint rather than the first CI job that invokes them.
+# Python tooling (bench_compare.py, trace_summarize.py, rwle_lint.py, ...):
+# syntax-check every script including the rwle_lint package, then smoke
+# --help so argparse wiring errors (bad defaults, duplicate flags) fail lint
+# rather than the first CI job that invokes them.
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m py_compile tools/*.py
+  python3 -m py_compile tools/*.py tools/rwle_lint/*.py tools/rwle_lint/checks/*.py
   for tool in tools/*.py; do
     python3 "$tool" --help >/dev/null
   done
+
+  # The invariant checker itself. Under REQUIRE_LINT the libclang backend is
+  # mandatory (CI installs python3-clang); otherwise auto-fallback to the
+  # built-in lexer keeps the check running on plain dev boxes.
+  if [ "${REQUIRE_LINT}" = "1" ]; then
+    python3 tools/rwle_lint.py --require-libclang --build-dir "${BUILD_DIR}"
+  else
+    python3 tools/rwle_lint.py --build-dir "${BUILD_DIR}"
+  fi
+elif [ "${REQUIRE_LINT}" = "1" ]; then
+  echo "lint: python3 required (REQUIRE_LINT=1) but not found on PATH" >&2
+  exit 1
 else
   echo "lint: python3 not found on PATH; skipping Python checks" >&2
 fi
@@ -35,6 +55,10 @@ if [ -x "${BUILD_DIR}/bench/rwle_perf" ]; then
 fi
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [ "${REQUIRE_LINT}" = "1" ]; then
+    echo "lint: clang-tidy required (REQUIRE_LINT=1) but not found on PATH" >&2
+    exit 1
+  fi
   echo "lint: clang-tidy not found on PATH; skipping (install LLVM tools to enable)" >&2
   exit 0
 fi

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""rwle_lint: static checker for the project's concurrency invariants.
+
+Thin launcher for the tools/rwle_lint/ package so the tool is runnable as
+`python3 tools/rwle_lint.py` from anywhere without installation. The real
+implementation (backends, checks, waiver engine) lives in the package; see
+DESIGN.md §11 for the invariant catalogue and EXPERIMENTS.md for usage.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from rwle_lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Helpers shared by the check modules."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Pattern
+
+from rwle_lint.source import SourceFile
+
+
+def in_dirs(src: SourceFile, dirs) -> bool:
+    rel = src.rel.replace("\\", "/")
+    return any(rel.startswith(d) for d in dirs)
+
+
+def has_adjacent_comment(src: SourceFile, token_index: int,
+                         vocab: Optional[Pattern] = None) -> bool:
+    """True if the statement containing tokens[token_index] carries a comment.
+
+    "Adjacent" means: a comment on any line the statement spans (trailing or
+    interleaved in a multi-line call), or a contiguous own-line comment block
+    ending directly above the statement's first line. When `vocab` is given,
+    at least one such comment must match it -- this is how the memory-order
+    check insists the comment actually argues about ordering rather than
+    saying something unrelated.
+    """
+    tok = src.tokens[token_index]
+    stmt_line = src.tokens[src.statement_start(token_index)].line
+    candidates = []
+    for line in range(stmt_line, tok.line + 1):
+        candidates.extend(src.comments_on(line))
+    candidates.extend(src.comment_block_above(stmt_line))
+    # Waiver directives are a separate mechanism (diagnostics.apply_waivers);
+    # they must not double as justification comments, or
+    # `disable(memory-order)` would satisfy the ordering-vocab rule by
+    # accident of its spelling.
+    candidates = [c for c in candidates if "rwle-lint:" not in c.text]
+    if vocab is None:
+        return bool(candidates)
+    return any(vocab.search(c.text) for c in candidates)
+
+
+def is_call(src: SourceFile, index: int) -> bool:
+    """tokens[index] is an identifier directly invoked as name(...)."""
+    toks = src.tokens
+    return index + 1 < len(toks) and toks[index + 1].spelling == "("
+
+
+SNAKE_CASE_RE = re.compile(r"^[a-z][a-z0-9_]*$")

@@ -1,0 +1,96 @@
+"""C1 -- fabric-access discipline.
+
+Transaction-body code must route every shared-memory access through the
+simulated HTM fabric (TxVar / TxContext / HtmRuntime cell ops): the fabric
+is what tracks read/write sets, dooms conflicting transactions, and charges
+modeled cost. An access that bypasses it is invisible to conflict
+detection, to txsan, and to the cost model -- the speculative equivalent of
+a data race.
+
+Concretely, in the fabric-disciplined directories:
+
+  (a) LoadDirect / StoreDirect calls -- the sanctioned fabric bypass for
+      single-threaded setup and post-run verification -- must carry an
+      adjacent comment justifying why no transaction can observe the
+      access (or an explicit waiver). An unjustified Direct access is the
+      most common way workload bugs sneak past txsan.
+
+  (b) In src/workloads/ (pure transaction-body code), raw std::atomic
+      members and .load()/.store() accesses are flagged outright: workload
+      shared state must be TxVar so it participates in conflict detection.
+      The fabric layers themselves (src/htm/, src/rwle/) implement the
+      coherence protocol and legitimately use raw atomics there.
+
+  (c) `volatile` is flagged everywhere in scope: it neither orders nor
+      tracks accesses and always indicates shared state held outside the
+      fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from rwle_lint.checks._util import has_adjacent_comment, in_dirs, is_call
+from rwle_lint.diagnostics import Diagnostic
+from rwle_lint.source import SourceFile
+
+NAME = "fabric-access"
+DESCRIPTION = ("transaction-body code must route shared accesses through the "
+               "fabric (TxVar/TxContext); Direct bypasses need justification")
+
+SCOPE_DIRS = ("src/rwle/", "src/htm/", "src/workloads/")
+WORKLOAD_DIRS = ("src/workloads/",)
+
+_DIRECT_CALLS = {"LoadDirect", "StoreDirect"}
+_RAW_ATOMIC_CALLS = {"load", "store", "exchange", "fetch_add", "fetch_sub",
+                     "fetch_or", "fetch_and", "fetch_xor",
+                     "compare_exchange_weak", "compare_exchange_strong"}
+
+
+def run(src: SourceFile) -> List[Diagnostic]:
+    if not in_dirs(src, SCOPE_DIRS):
+        return []
+    diags: List[Diagnostic] = []
+    toks = src.tokens
+    in_workloads = in_dirs(src, WORKLOAD_DIRS)
+
+    for i, t in enumerate(toks):
+        # (c) volatile anywhere in fabric-disciplined code.
+        if t.kind == "keyword" and t.spelling == "volatile":
+            diags.append(Diagnostic(
+                NAME, src.rel, t.line, t.col,
+                "'volatile' shared state bypasses the fabric: it is invisible "
+                "to conflict detection and the cost model; use TxVar (or a "
+                "justified atomic in the fabric layers)"))
+            continue
+        if t.kind != "identifier":
+            continue
+        # (a) Direct fabric bypass needs an adjacent justification comment.
+        if t.spelling in _DIRECT_CALLS and is_call(src, i):
+            if not has_adjacent_comment(src, i):
+                diags.append(Diagnostic(
+                    NAME, src.rel, t.line, t.col,
+                    f"'{t.spelling}' bypasses the fabric with no adjacent "
+                    f"justification; state why no transaction can observe "
+                    f"this access (setup / verification / quiescence), or "
+                    f"use the coherent Load/Store"))
+            continue
+        if not in_workloads:
+            continue
+        # (b) Raw atomics in workload (transaction-body) code.
+        if (t.spelling == "atomic" and i >= 2
+                and toks[i - 1].spelling == "::" and toks[i - 2].spelling == "std"):
+            diags.append(Diagnostic(
+                NAME, src.rel, t.line, t.col,
+                "raw std::atomic in transaction-body code: workload shared "
+                "state must be TxVar so the fabric tracks it for conflict "
+                "detection and modeled cost"))
+            continue
+        if (t.spelling in _RAW_ATOMIC_CALLS and is_call(src, i) and i >= 1
+                and toks[i - 1].spelling in (".", "->")):
+            diags.append(Diagnostic(
+                NAME, src.rel, t.line, t.col,
+                f"raw atomic '.{t.spelling}()' in transaction-body code: "
+                f"route this access through TxVar/TxContext so the fabric "
+                f"sees it"))
+    return diags

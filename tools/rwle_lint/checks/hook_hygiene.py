@@ -1,0 +1,77 @@
+"""C4 -- hook hygiene.
+
+Production code talks to the dynamic analyzer (txsan) and the cooperative
+scheduler only through the null-hook headers (analysis_hooks.h,
+sched_hooks.h): a relaxed function-pointer load in instrumented builds,
+nothing at all in production builds. A direct call into src/analysis/ or
+src/sched/ from fabric or lock code would (1) link the instrumentation into
+production binaries and (2) bypass the compiled-out guarantee the perf
+gates rely on.
+
+Flagged, outside the analyzer/scheduler themselves and the hook headers:
+  - #include of a src/analysis/ or src/sched/ header
+  - qualified references into rwle::analysis::, rwle::txsan::, rwle::sched::
+    (the hook namespaces analysis_hooks:: / sched_hooks:: are the sanctioned
+    surface and are allowed)
+
+The driver layer is exempt by allowlist: it *owns* scheduler rounds and
+analyzer bootstrap by design (rwle_explore, `rwle_bench --sched`), and the
+bench/ tree is not production code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from rwle_lint.diagnostics import Diagnostic
+from rwle_lint.source import SourceFile
+
+NAME = "hook-hygiene"
+DESCRIPTION = ("no direct txsan/scheduler dependencies outside "
+               "analysis_hooks.h/sched_hooks.h (production stays hook-free)")
+
+# The check guards the production library: src/ only. bench/ and tests/ are
+# drivers and harnesses by definition.
+SCOPE_PREFIX = "src/"
+
+# Files that legitimately live on the other side of the hooks.
+EXEMPT = (
+    "src/analysis/",           # the analyzer itself
+    "src/sched/",              # the scheduler itself
+    "src/common/analysis_hooks.h",
+    "src/common/sched_hooks.h",
+    # Driver layer: sets up scheduler rounds for `rwle_bench --sched`
+    # (PR 4's documented controlled-stress mode); inert unless a scheduled
+    # run is requested, and not part of the fabric/lock hot paths.
+    "src/harness/bench_harness.cc",
+)
+
+_FORBIDDEN_NAMESPACES = {"analysis", "txsan", "sched"}
+_FORBIDDEN_INCLUDE_PREFIXES = ('"src/analysis/', '"src/sched/')
+
+
+def run(src: SourceFile) -> List[Diagnostic]:
+    rel = src.rel.replace("\\", "/")
+    if not rel.startswith(SCOPE_PREFIX):
+        return []
+    if any(rel.startswith(e) for e in EXEMPT):
+        return []
+    diags: List[Diagnostic] = []
+    toks = src.tokens
+    for i, t in enumerate(toks):
+        if t.kind == "literal" and any(
+                t.spelling.startswith(p) for p in _FORBIDDEN_INCLUDE_PREFIXES):
+            diags.append(Diagnostic(
+                NAME, src.rel, t.line, t.col,
+                f"direct include of {t.spelling} outside the driver layer; "
+                f"production code must observe the analyzer/scheduler only "
+                f"through analysis_hooks.h / sched_hooks.h"))
+            continue
+        if (t.kind == "identifier" and t.spelling in _FORBIDDEN_NAMESPACES
+                and i + 1 < len(toks) and toks[i + 1].spelling == "::"):
+            diags.append(Diagnostic(
+                NAME, src.rel, t.line, t.col,
+                f"direct call into '{t.spelling}::' from production code; "
+                f"go through the null-hook surface (analysis_hooks.h / "
+                f"sched_hooks.h) so non-instrumented builds stay hook-free"))
+    return diags

@@ -1,0 +1,72 @@
+"""C2 -- memory-order discipline.
+
+Every explicit std::memory_order weaker than seq_cst must carry an adjacent
+ordering comment: the PR-5 convention ("the ordering argument commented at
+each site"), now enforced. A weakened atomic op whose justification lives
+only in a reviewer's head is exactly how the next refactor reorders a
+publication store past the data it publishes.
+
+The comment must actually argue about ordering (match the vocabulary below);
+"speed this up" does not count. seq_cst needs no comment -- it is the safe
+default -- and memory orders in *test* code are exempt (tests exercise
+orderings deliberately; the invariant protects production paths).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from rwle_lint.checks._util import has_adjacent_comment, in_dirs
+from rwle_lint.diagnostics import Diagnostic
+from rwle_lint.source import SourceFile
+
+NAME = "memory-order"
+DESCRIPTION = ("non-seq_cst std::memory_order arguments must have an adjacent "
+               "ordering comment")
+
+SCOPE_DIRS = ("src/", "bench/", "examples/")
+
+_WEAK_ORDERS = {
+    "memory_order_relaxed",
+    "memory_order_acquire",
+    "memory_order_release",
+    "memory_order_acq_rel",
+    "memory_order_consume",
+}
+_WEAK_SCOPED = {"relaxed", "acquire", "release", "acq_rel", "consume"}
+
+# What counts as "talking about ordering". Generous on purpose: the check
+# enforces that an argument exists where the reader will look, not that it
+# uses one blessed word.
+ORDERING_VOCAB = re.compile(
+    r"(?i)(order|fence|barrier|synchroni[sz]|acquire|release|relaxed|"
+    r"acq_rel|seq_cst|happens[- ]before|visib|publish|reorder|coheren|"
+    r"monotonic|rac[ey]|atomi[ct])")
+
+
+def run(src: SourceFile) -> List[Diagnostic]:
+    if not in_dirs(src, SCOPE_DIRS):
+        return []
+    diags: List[Diagnostic] = []
+    toks = src.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "identifier":
+            continue
+        weak = None
+        if t.spelling in _WEAK_ORDERS:
+            weak = t.spelling
+        elif (t.spelling == "memory_order" and i + 2 < len(toks)
+              and toks[i + 1].spelling == "::"
+              and toks[i + 2].spelling in _WEAK_SCOPED):
+            weak = f"memory_order::{toks[i + 2].spelling}"
+        if weak is None:
+            continue
+        if has_adjacent_comment(src, i, ORDERING_VOCAB):
+            continue
+        diags.append(Diagnostic(
+            NAME, src.rel, t.line, t.col,
+            f"'{weak}' without an adjacent ordering comment; state why this "
+            f"weakening is safe (what synchronizes / what may reorder) next "
+            f"to the access, or use seq_cst"))
+    return diags

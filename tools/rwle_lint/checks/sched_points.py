@@ -1,0 +1,121 @@
+"""C3 -- sched-point coverage.
+
+Every spin/retry loop in the lock and fabric layers must contain a
+scheduling point, or `rwle_explore` cannot interleave other threads while
+the loop waits: under the cooperative scheduler the loop becomes a
+livelock, and -- worse -- the schedule space the explorer and txsan's
+oracle cover silently excludes the loop's interleavings. New blocking
+paths (BRAVO fallback revocation, chopped-transaction piece chaining,
+lazy-subscription retries) stay explorable by construction only if this is
+enforced mechanically.
+
+A loop is a *spin/retry loop* when it is unbounded (`for (;;)`,
+`while (true)`, `do ... while (true)`) or its condition polls shared state
+(a call to one of the polling accessors below). It is covered when its body
+or condition reaches a scheduling point: a literal RWLE_SCHED_POINT /
+NotifySchedPoint, a SpinBackoff iteration (kSpinWait), or a fabric/lock
+primitive that carries a point internally (CellLoad and friends, the
+lock-word and epoch-clock entry points -- see the carrier table).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from rwle_lint.checks._util import in_dirs, is_call
+from rwle_lint.diagnostics import Diagnostic
+from rwle_lint.source import SourceFile
+
+NAME = "sched-point"
+DESCRIPTION = ("spin/retry loops in lock/fabric code must reach an "
+               "RWLE_SCHED_POINT (directly or via a carrier primitive)")
+
+SCOPE_DIRS = ("src/locks/", "src/rwle/", "src/htm/")
+
+# Calls that make a loop condition "polling shared state". Project
+# convention: capitalized Load/State are fabric- or lock-word accessors;
+# lowercase .load() is a raw std::atomic access (which the fabric layers use
+# only with an ordering argument, see the memory-order check).
+POLL_ACCESSORS = {
+    "Load",          # TxVar / LockWord loads (fabric-routed)
+    "load",          # raw atomic polling, e.g. a stop flag or status word
+    "State",         # LockWord::State
+    "Phase",         # TxContext phase polls
+}
+
+# Identifiers that carry a scheduling point, with where the point lives:
+#   RWLE_SCHED_POINT / NotifySchedPoint  -- the point itself
+#   SpinBackoff                          -- kSpinWait (first thing it does)
+#   CellLoad / CellStore / CellCas       -- kFabricLoad/Store/Cas in
+#                                           HtmRuntime entry
+#   Load / Store                         -- TxVar & LockWord route through the
+#                                           Cell* entry points above
+#   Acquire / Release                    -- LockWord::Acquire/Release
+#                                           (kLockAcquire/kLockRelease)
+#   Enter / Exit / AwaitQuiescence /     -- epoch-clock points (kReaderEnter/
+#     WaitForReaders                        Exit/kQuiescence)
+#   WaitWhileState                       -- spins with SpinBackoff internally
+#   MaybePreempt                         -- kPreemptYield
+#   TxBegin / TxCommit / TxSuspend /     -- kTxBegin/kTxCommit/kTxSuspend/
+#     TxResume / TxCancel / FinishAbort     kTxResume/kTxAbort in HtmRuntime
+CARRIERS = {
+    "RWLE_SCHED_POINT", "NotifySchedPoint",
+    "SpinBackoff",
+    "CellLoad", "CellStore", "CellCas",
+    "Load", "Store",
+    "Acquire", "Release",
+    "Enter", "Exit", "AwaitQuiescence", "WaitForReaders",
+    "WaitWhileState",
+    "MaybePreempt",
+    "TxBegin", "TxCommit", "TxSuspend", "TxResume", "TxCancel", "FinishAbort",
+}
+
+
+def _is_unbounded(src: SourceFile, loop) -> bool:
+    if loop.keyword == "for":
+        cond = src.for_condition(loop)
+        # None = range-for (finite container iteration, not a spin loop).
+        return cond is not None and len(cond) == 0
+    cond = src.condition_tokens(loop)
+    return len(cond) == 1 and cond[0].spelling in ("true", "1")
+
+
+def _polls_shared_state(src: SourceFile, loop) -> bool:
+    cond = src.condition_tokens(loop)
+    for i, t in enumerate(cond):
+        if (t.kind == "identifier" and t.spelling in POLL_ACCESSORS
+                and i + 1 < len(cond) and cond[i + 1].spelling == "("):
+            return True
+    return False
+
+
+def _has_carrier(src: SourceFile, loop) -> bool:
+    toks = src.body_tokens(loop) + src.condition_tokens(loop)
+    for i, t in enumerate(toks):
+        if t.kind != "identifier" or t.spelling not in CARRIERS:
+            continue
+        if t.spelling in ("RWLE_SCHED_POINT", "NotifySchedPoint"):
+            return True
+        if i + 1 < len(toks) and toks[i + 1].spelling == "(":
+            return True
+    return False
+
+
+def run(src: SourceFile) -> List[Diagnostic]:
+    if not in_dirs(src, SCOPE_DIRS):
+        return []
+    diags: List[Diagnostic] = []
+    for loop in src.loops():
+        if not (_is_unbounded(src, loop) or _polls_shared_state(src, loop)):
+            continue
+        if _has_carrier(src, loop):
+            continue
+        kw = src.tokens[loop.kw_index]
+        diags.append(Diagnostic(
+            NAME, src.rel, kw.line, kw.col,
+            "spin/retry loop with no scheduling point: add RWLE_SCHED_POINT "
+            "or SpinBackoff (or route the wait through a fabric/lock "
+            "primitive that carries one), otherwise rwle_explore cannot "
+            "interleave threads here and the schedule space silently "
+            "excludes this wait"))
+    return diags

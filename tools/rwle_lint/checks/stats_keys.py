@@ -1,0 +1,206 @@
+"""C5 -- stats-key stability.
+
+The named snapshot structs in src/stats/ (CommitBreakdown, AbortBreakdown,
+...) are the single authoritative description of the serialized result
+schema: their field names become JSON keys, and bench_compare.py's
+regression gate plus every committed baseline depend on those keys
+byte-for-byte. This check pins them twice over:
+
+  - every field of every struct in src/stats/ must be snake_case (the JSON
+    key convention), as must every string literal returned by the *Key()
+    stable-identifier functions;
+  - the structs listed in the committed manifest
+    (tools/rwle_lint/schema/stats_keys.json) must declare exactly the
+    manifest's fields, in order. Renaming or reordering a field now fails
+    lint until the manifest is updated in the same change -- making schema
+    drift a reviewed decision instead of an accident discovered by a red
+    bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from rwle_lint.checks._util import SNAKE_CASE_RE, in_dirs
+from rwle_lint.diagnostics import Diagnostic
+from rwle_lint.source import SourceFile
+
+NAME = "stats-keys"
+DESCRIPTION = ("src/stats/ snapshot struct fields must be snake_case and "
+               "match the committed schema manifest")
+
+SCOPE_DIRS = ("src/stats/",)
+
+_SCHEMA_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "schema", "stats_keys.json")
+
+# Declaration keywords that start non-field member statements.
+_SKIP_STARTERS = {"using", "typedef", "friend", "template", "public",
+                  "private", "protected", "static_assert", "enum", "class",
+                  "struct", "operator"}
+
+
+def _load_manifest(override: Optional[str] = None) -> Dict[str, List[str]]:
+    path = override or _SCHEMA_PATH
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _parse_structs(src: SourceFile) -> List[Tuple[str, int, List[Tuple[str, int, int]]]]:
+    """All struct definitions: (name, line, [(field, line, col), ...]).
+
+    Token-level parse: fields are the depth-1 statements of the struct body
+    that are not functions, nested types, access labels, or static members.
+    A field's name is the identifier directly before '=', ';', '[' or '{'
+    (brace-or-equals initializers and arrays included).
+    """
+    out = []
+    toks = src.tokens
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if not (t.kind == "keyword" and t.spelling == "struct"):
+            i += 1
+            continue
+        name_idx = i + 1
+        # struct alignas(...) Name { ... };
+        if name_idx < len(toks) and toks[name_idx].spelling == "alignas" \
+                and name_idx + 1 < len(toks) and toks[name_idx + 1].spelling == "(":
+            name_idx = src.match_forward(name_idx + 1) + 1
+        if name_idx >= len(toks) or toks[name_idx].kind != "identifier":
+            i += 1
+            continue
+        name = toks[name_idx].spelling
+        # Find the '{' of the definition (skip base clause); bail at ';'
+        # (forward declaration) or '(' (function returning struct-ish).
+        j = name_idx + 1
+        while j < len(toks) and toks[j].spelling not in ("{", ";", "("):
+            j += 1
+        if j >= len(toks) or toks[j].spelling != "{":
+            i += 1
+            continue
+        body_open, body_close = j, src.match_forward(j)
+        fields: List[Tuple[str, int, int]] = []
+        k = body_open + 1
+        while k < body_close:
+            # One member statement: from k to its ';' or body '}' at depth 0.
+            stmt_start = k
+            depth = 0
+            has_paren = False
+            end = k
+            while end < body_close:
+                s = toks[end].spelling
+                if s in ("(",):
+                    has_paren = has_paren or depth == 0
+                if s in "([{":
+                    depth += 1
+                elif s in ")]}":
+                    depth -= 1
+                    # A '}' closing a function body / nested type ends the
+                    # statement even without ';' (the ';' is optional there
+                    # only for functions; nested structs keep theirs).
+                    if depth == 0 and s == "}":
+                        if end + 1 < body_close and toks[end + 1].spelling == ";":
+                            end += 1
+                        break
+                elif s == ";" and depth == 0:
+                    break
+                elif s == ":" and depth == 0 and end == stmt_start + 1 \
+                        and toks[stmt_start].spelling in ("public", "private", "protected"):
+                    break
+                end += 1
+            stmt = toks[stmt_start:end]
+            k = end + 1
+            if not stmt:
+                continue
+            first = stmt[0].spelling
+            if first in _SKIP_STARTERS or first == "static":
+                continue
+            if has_paren:
+                continue  # member function (fields of function-pointer type
+                # would need a waiver; none exist in src/stats)
+            # Identifier directly before the initializer/terminator.
+            field = None
+            for idx in range(len(stmt) - 1, -1, -1):
+                if stmt[idx].kind == "identifier":
+                    nxt = stmt[idx + 1].spelling if idx + 1 < len(stmt) else ";"
+                    if nxt in ("=", "[", "{", ";") or idx == len(stmt) - 1:
+                        field = stmt[idx]
+                        break
+            if field is not None:
+                fields.append((field.spelling, field.line, field.col))
+        out.append((name, toks[name_idx].line, fields))
+        i = body_close + 1
+    return out
+
+
+def _key_function_literals(src: SourceFile) -> List[Tuple[str, int, int]]:
+    """String literals inside functions whose name ends in 'Key'."""
+    out = []
+    toks = src.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "identifier" or not t.spelling.endswith("Key"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].spelling != "(":
+            continue
+        close = src.match_forward(i + 1)
+        # Definition if a '{' follows within a few tokens (const, noexcept).
+        j = close + 1
+        while j < len(toks) and j <= close + 4 and toks[j].spelling not in ("{", ";"):
+            j += 1
+        if j >= len(toks) or toks[j].spelling != "{":
+            continue
+        body_close = src.match_forward(j)
+        for k in range(j + 1, body_close):
+            tk = toks[k]
+            if tk.kind == "literal" and tk.spelling.startswith('"'):
+                out.append((tk.spelling.strip('"'), tk.line, tk.col))
+    return out
+
+
+def run(src: SourceFile, manifest_path: Optional[str] = None) -> List[Diagnostic]:
+    if not in_dirs(src, SCOPE_DIRS):
+        return []
+    diags: List[Diagnostic] = []
+    manifest = _load_manifest(manifest_path)
+    structs = _parse_structs(src)
+
+    for name, line, fields in structs:
+        for fname, fline, fcol in fields:
+            if not SNAKE_CASE_RE.match(fname):
+                diags.append(Diagnostic(
+                    NAME, src.rel, fline, fcol,
+                    f"field '{name}::{fname}' is not snake_case; snapshot "
+                    f"fields become JSON keys and must follow the key "
+                    f"convention"))
+        if name in manifest:
+            expected = manifest[name]
+            actual = [f[0] for f in fields]
+            if actual != expected:
+                diags.append(Diagnostic(
+                    NAME, src.rel, line, 1,
+                    f"struct '{name}' fields {actual} do not match the "
+                    f"committed schema manifest {expected}; committed "
+                    f"baselines and bench_compare.py key on these -- if the "
+                    f"schema change is intended, update "
+                    f"tools/rwle_lint/schema/stats_keys.json in the same "
+                    f"change"))
+
+    found = {name for name, _, _ in structs}
+    for name in manifest:
+        if name not in found and src.rel.endswith("stats.h"):
+            diags.append(Diagnostic(
+                NAME, src.rel, 1, 1,
+                f"manifest struct '{name}' not found in {src.rel}; the "
+                f"serialized schema lost its authoritative description"))
+
+    for literal, line, col in _key_function_literals(src):
+        if not SNAKE_CASE_RE.match(literal):
+            diags.append(Diagnostic(
+                NAME, src.rel, line, col,
+                f"stable key \"{literal}\" is not snake_case; *Key() "
+                f"identifiers feed serialized results and comparison "
+                f"baselines"))
+    return diags

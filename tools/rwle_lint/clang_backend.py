@@ -1,0 +1,133 @@
+"""libclang backend: produce SourceModel tokens with clang's own tokenizer.
+
+When python-clang + libclang are installed (the CI static-analysis job
+installs both), each file is parsed as a translation unit with the exact
+arguments recorded in build/compile_commands.json, and the token stream the
+checks consume comes from clang_tokenize -- authoritative lexing of raw
+strings, digraphs, UCNs and every other corner the fallback lexer
+approximates. Headers (which a compile database never lists) parse with the
+project's standard flags.
+
+The backend is deliberately token-level, like the fallback: checks must
+behave identically under both, and the fixture golden tests pin that
+behavior. Parsing still goes through the full clang frontend, so hard
+parse errors (fatal diagnostics) are reported rather than silently linted
+around.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import List, Optional
+
+from rwle_lint.lexer import Token
+from rwle_lint.source import SourceFile
+
+_cindex = None
+_load_error: Optional[str] = None
+
+
+def _find_libclang() -> Optional[str]:
+    patterns = (
+        "/usr/lib/llvm-*/lib/libclang-*.so*",
+        "/usr/lib/llvm-*/lib/libclang.so*",
+        "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+        "/usr/lib/x86_64-linux-gnu/libclang.so*",
+        "/usr/local/lib/libclang*.so*",
+        "/opt/homebrew/opt/llvm/lib/libclang.dylib",
+        "/usr/local/opt/llvm/lib/libclang.dylib",
+    )
+    candidates: List[str] = []
+    for p in patterns:
+        candidates.extend(glob.glob(p))
+    # libclang-cpp is the C++ API, not the stable C API cindex binds to.
+    candidates = [c for c in candidates if "libclang-cpp" not in c]
+    return sorted(candidates, reverse=True)[0] if candidates else None
+
+
+def available() -> bool:
+    return _load() is not None
+
+
+def load_error() -> str:
+    _load()
+    return _load_error or ""
+
+
+def _load():
+    global _cindex, _load_error
+    if _cindex is not None or _load_error is not None:
+        return _cindex
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as e:
+        _load_error = f"python clang bindings not importable ({e})"
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:
+        lib = _find_libclang()
+        if lib is None:
+            _load_error = "clang.cindex importable but no libclang shared library found"
+            return None
+        try:
+            cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+        except Exception as e:  # pragma: no cover - depends on host LLVM
+            _load_error = f"failed to load libclang from {lib}: {e}"
+            return None
+    _cindex = cindex
+    return _cindex
+
+
+_KIND_MAP = {
+    "PUNCTUATION": "punct",
+    "KEYWORD": "keyword",
+    "IDENTIFIER": "identifier",
+    "LITERAL": "literal",
+    "COMMENT": "comment",
+}
+
+# Flags used for headers and any file absent from the compile database.
+DEFAULT_ARGS = ["-x", "c++", "-std=c++20"]
+
+
+class ParseError(Exception):
+    pass
+
+
+def parse(path: str, rel: str, root: str, compile_args: Optional[List[str]]) -> SourceFile:
+    cindex = _load()
+    if cindex is None:
+        raise ParseError(load_error())
+    index = cindex.Index.create()
+    args = list(compile_args) if compile_args else DEFAULT_ARGS + ["-I", root]
+    # Keep macro bodies and skipped #if regions visible: the checks are
+    # token-level and must see RWLE_SCHED_POINT sites in all configurations.
+    opts = cindex.TranslationUnit.PARSE_DETAILED_PREPROCESSING_RECORD
+    try:
+        tu = index.parse(path, args=args, options=opts)
+    except cindex.TranslationUnitLoadError as e:
+        raise ParseError(f"libclang failed to parse {rel}: {e}") from e
+    fatal = [d for d in tu.diagnostics if d.severity >= cindex.Diagnostic.Fatal]
+    if fatal:
+        raise ParseError(f"{rel}: {fatal[0].spelling}")
+
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+
+    main_file = cindex.File.from_name(tu, path)
+    start = cindex.SourceLocation.from_offset(tu, main_file, 0)
+    end = cindex.SourceLocation.from_offset(tu, main_file, len(text.encode("utf-8")))
+    extent = cindex.SourceRange.from_locations(start, end)
+
+    tokens: List[Token] = []
+    for t in tu.get_tokens(extent=extent):
+        if t.location.file is None or t.location.file.name != main_file.name:
+            continue
+        kind = _KIND_MAP.get(t.kind.name)
+        if kind is None:  # pragma: no cover - future libclang token kinds
+            kind = "punct"
+        tokens.append(Token(kind, t.spelling, t.location.line, t.location.column))
+    return SourceFile(path, rel, text, all_tokens=tokens)

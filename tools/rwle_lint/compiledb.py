@@ -1,0 +1,89 @@
+"""Compile-database handling and file-set enumeration.
+
+rwle_lint lints the project's own translation units plus the headers they
+own. The TU list comes from build/compile_commands.json (the same database
+clang-tidy uses); headers are enumerated from the source tree because a
+compile database by construction never lists them. Third-party code lives
+under the build directory and is excluded by taking only files under the
+repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+from typing import Dict, List, Optional
+
+# Directories whose .h/.cc files are first-party lintable sources.
+FIRST_PARTY_DIRS = ("src", "bench", "tests", "examples")
+
+_SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+
+def load_compile_commands(build_dir: str) -> Optional[List[dict]]:
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def compile_args_by_file(build_dir: str, root: str) -> Dict[str, List[str]]:
+    """Map of absolute source path -> compiler args (for the libclang backend).
+
+    The compiler executable and the -c/-o pair are stripped; what remains
+    (-I, -D, -std, warnings) is what libclang needs to parse the TU the way
+    the build does.
+    """
+    db = load_compile_commands(build_dir)
+    if db is None:
+        return {}
+    out: Dict[str, List[str]] = {}
+    for entry in db:
+        file_path = entry["file"]
+        if not os.path.isabs(file_path):
+            file_path = os.path.join(entry["directory"], file_path)
+        file_path = os.path.realpath(file_path)
+        if not file_path.startswith(os.path.realpath(root) + os.sep):
+            continue
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry["command"])
+        args: List[str] = []
+        skip_next = False
+        for a in argv[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", "-o", "-MF", "-MT", "-MQ"):
+                skip_next = a != "-c"
+                continue
+            if a == file_path or a == entry["file"]:
+                continue
+            args.append(a)
+        out[file_path] = args
+    return out
+
+
+def default_file_set(root: str, paths: Optional[List[str]] = None) -> List[str]:
+    """All first-party source files (absolute paths), sorted.
+
+    `paths` restricts the walk to the given files/directories (absolute or
+    root-relative); the default is the first-party directory list.
+    """
+    roots = paths if paths else [os.path.join(root, d) for d in FIRST_PARTY_DIRS]
+    files: List[str] = []
+    for p in roots:
+        if not os.path.isabs(p):
+            p = os.path.join(root, p)
+        if os.path.isfile(p):
+            files.append(os.path.realpath(p))
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(_SOURCE_EXTS):
+                    files.append(os.path.realpath(os.path.join(dirpath, name)))
+    return sorted(set(files))

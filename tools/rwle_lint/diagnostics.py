@@ -1,0 +1,89 @@
+"""Diagnostics and the waiver engine.
+
+A finding is a Diagnostic (check name, location, message). Before findings
+are reported, the waiver engine drops any that a source comment explicitly
+waives:
+
+    code();  // rwle-lint: disable(sched-point)
+    // rwle-lint: disable-next-line(memory-order, fabric-access)
+    flag.store(true, std::memory_order_relaxed);
+
+Waivers name the check(s) they suppress -- a bare `disable` is rejected so
+waivers never silently widen. Unknown check names inside a waiver are
+themselves findings (check name 'waiver'), which keeps typos from turning
+into permanent blind spots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, Iterable, List, Set, Tuple
+
+from rwle_lint.source import SourceFile
+
+# Matches every rwle-lint control comment; the argument list is validated
+# separately so malformed waivers produce a diagnostic instead of silence.
+_WAIVER_RE = re.compile(
+    r"rwle-lint:\s*(?P<directive>disable-next-line|disable)\s*"
+    r"(?:\((?P<args>[^)]*)\))?"
+)
+
+_CHECK_NAME_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    check: str
+    path: str      # path as reported to the user
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: error: [{self.check}] {self.message}"
+
+
+class WaiverTable:
+    """Per-file map of line -> set of waived check names."""
+
+    def __init__(self, src: SourceFile, known_checks: Set[str]):
+        self.waived: Dict[int, Set[str]] = {}
+        self.errors: List[Diagnostic] = []
+        for comment in src.comments:
+            for m in _WAIVER_RE.finditer(comment.text):
+                directive = m.group("directive")
+                args = m.group("args")
+                target = comment.end_line + 1 if directive == "disable-next-line" \
+                    else comment.line
+                if args is None or not args.strip():
+                    self.errors.append(Diagnostic(
+                        "waiver", src.rel, comment.line, comment.col,
+                        f"'{directive}' must name the check(s) it suppresses, "
+                        f"e.g. // rwle-lint: {directive}(sched-point)"))
+                    continue
+                for name in (a.strip() for a in args.split(",")):
+                    if name in known_checks:
+                        self.waived.setdefault(target, set()).add(name)
+                    else:
+                        hint = ", ".join(sorted(known_checks))
+                        self.errors.append(Diagnostic(
+                            "waiver", src.rel, comment.line, comment.col,
+                            f"unknown check '{name}' in waiver "
+                            f"(known checks: {hint})"))
+
+    def is_waived(self, diag: Diagnostic) -> bool:
+        return diag.check in self.waived.get(diag.line, set())
+
+
+def apply_waivers(src: SourceFile, diags: Iterable[Diagnostic],
+                  known_checks: Set[str]) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Returns (surviving diagnostics incl. waiver errors, waived diagnostics)."""
+    table = WaiverTable(src, known_checks)
+    kept: List[Diagnostic] = []
+    waived: List[Diagnostic] = []
+    for d in diags:
+        (waived if table.is_waived(d) else kept).append(d)
+    kept.extend(table.errors)
+    kept.sort(key=lambda d: (d.line, d.col, d.check))
+    return kept, waived

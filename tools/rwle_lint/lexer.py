@@ -1,0 +1,219 @@
+"""A small C++ lexer producing the token stream rwle_lint's checks consume.
+
+This is the fallback backend: when libclang is available the same Token
+records are produced by clang's own tokenizer (clang_backend.py), which is
+authoritative. The two backends must agree on the Token contract below --
+the fixture tests run against this lexer so the checks stay testable on
+boxes without LLVM, and CI runs the libclang backend so drift between the
+two surfaces there.
+
+Token contract:
+  kind     -- one of 'comment', 'identifier', 'keyword', 'literal', 'punct'
+  spelling -- exact source text (comments keep their // or /* */ markers)
+  line     -- 1-based line of the token's first character
+  col      -- 1-based column of the token's first character
+
+The lexer understands line/block comments, string/char literals (including
+raw strings and common prefixes/suffixes), numbers, identifiers, and
+multi-character punctuation ('::' is one token, matching clang). It does not
+expand preprocessor directives: '#', 'include', '"src/foo.h"' simply appear
+as ordinary tokens, which is all the checks need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+# Keywords the checks care to distinguish from identifiers. Anything not in
+# this set lexes as an identifier, which is harmless for our purposes.
+_KEYWORDS = frozenset(
+    """
+    alignas alignof asm auto bool break case catch char class const constexpr
+    const_cast continue decltype default delete do double dynamic_cast else
+    enum explicit export extern false float for friend goto if inline int long
+    mutable namespace new noexcept nullptr operator private protected public
+    register reinterpret_cast return short signed sizeof static static_assert
+    static_cast struct switch template this thread_local throw true try
+    typedef typeid typename union unsigned using virtual void volatile
+    wchar_t while
+    """.split()
+)
+
+_PUNCT_3 = ("<<=", ">>=", "...", "->*")
+_PUNCT_2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str
+    spelling: str
+    line: int
+    col: int
+
+
+class LexError(Exception):
+    """Unterminated comment/string -- the file is not valid C++."""
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        start_line, start_col = line, col
+
+        if ch in " \t\r\n\f\v":
+            advance(1)
+            continue
+
+        # Line continuation outside any token.
+        if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+            advance(2)
+            continue
+
+        # Comments.
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            if end == -1:
+                end = n
+            # A trailing backslash continues a line comment onto the next line.
+            while end < n and text[end - 1] == "\\":
+                nxt = text.find("\n", end + 1)
+                end = nxt if nxt != -1 else n
+            spelling = text[i:end]
+            tokens.append(Token("comment", spelling, start_line, start_col))
+            advance(end - i)
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {start_line}")
+            spelling = text[i : end + 2]
+            tokens.append(Token("comment", spelling, start_line, start_col))
+            advance(end + 2 - i)
+            continue
+
+        # Raw strings: R"delim( ... )delim", with optional encoding prefix.
+        raw = _match_raw_string(text, i)
+        if raw is not None:
+            tokens.append(Token("literal", text[i : i + raw], start_line, start_col))
+            advance(raw)
+            continue
+
+        # String / char literals (with optional encoding prefix like u8, L).
+        lit = _match_quoted(text, i)
+        if lit is not None:
+            tokens.append(Token("literal", text[i : i + lit], start_line, start_col))
+            advance(lit)
+            continue
+
+        # Numbers (simplified pp-number: digits, letters, dots, ' separators,
+        # exponent signs). Matches clang's NUMERIC_LITERAL granularity.
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                c = text[j]
+                if c.isalnum() or c in "._'":
+                    j += 1
+                elif c in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            tokens.append(Token("literal", text[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            spelling = text[i:j]
+            kind = "keyword" if spelling in _KEYWORDS else "identifier"
+            tokens.append(Token(kind, spelling, start_line, start_col))
+            advance(j - i)
+            continue
+
+        # Punctuation, longest match first.
+        for group in (_PUNCT_3, _PUNCT_2):
+            match = next((p for p in group if text.startswith(p, i)), None)
+            if match is not None:
+                tokens.append(Token("punct", match, start_line, start_col))
+                advance(len(match))
+                break
+        else:
+            tokens.append(Token("punct", ch, start_line, start_col))
+            advance(1)
+
+    return tokens
+
+
+def _match_raw_string(text: str, i: int):
+    """Length of a raw string literal starting at i, or None."""
+    j = i
+    n = len(text)
+    for prefix in ("u8R", "uR", "UR", "LR", "R"):
+        if text.startswith(prefix, j):
+            j += len(prefix)
+            break
+    else:
+        return None
+    if j >= n or text[j] != '"':
+        return None
+    j += 1
+    delim_end = text.find("(", j)
+    if delim_end == -1 or delim_end - j > 16:
+        return None
+    delim = text[j:delim_end]
+    closer = ")" + delim + '"'
+    end = text.find(closer, delim_end + 1)
+    if end == -1:
+        raise LexError("unterminated raw string literal")
+    return end + len(closer) - i
+
+
+def _match_quoted(text: str, i: int):
+    """Length of a (possibly prefixed) string or char literal at i, or None."""
+    j = i
+    n = len(text)
+    for prefix in ("u8", "u", "U", "L"):
+        if text.startswith(prefix, j) and j + len(prefix) < n and text[j + len(prefix)] in "\"'":
+            j += len(prefix)
+            break
+    if j >= n or text[j] not in "\"'":
+        return None
+    quote = text[j]
+    j += 1
+    while j < n:
+        if text[j] == "\\":
+            j += 2
+            continue
+        if text[j] == quote:
+            # Literal suffix (e.g. "..."sv) lexes as part of the literal,
+            # matching clang.
+            j += 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            return j - i
+        if text[j] == "\n" and quote == "'":
+            break
+        j += 1
+    raise LexError(f"unterminated {quote} literal")

@@ -1,0 +1,227 @@
+"""SourceModel: the per-file facts rwle_lint checks consume.
+
+A SourceFile wraps one translation unit (or header) as a token stream plus
+comment records and navigation helpers (matching delimiters, statement
+starts, loop extraction). Both backends produce the same model: the
+pure-Python lexer (lexer.py) and libclang's tokenizer (clang_backend.py)
+feed the identical Token contract in, so every check is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from rwle_lint.lexer import Token, tokenize
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Comment:
+    text: str        # comment text including // or /* */ markers
+    line: int        # first line
+    end_line: int    # last line (block comments span several)
+    col: int
+    own_line: bool   # no code token starts on `line` before this comment
+
+
+@dataclasses.dataclass(frozen=True)
+class Loop:
+    """One for/while/do loop: token indices into SourceFile.tokens."""
+
+    keyword: str          # 'for' | 'while' | 'do'
+    kw_index: int         # index of the loop keyword token
+    cond_start: int       # first token of the condition (inclusive), -1 if none
+    cond_end: int         # one past the last condition token, -1 if none
+    body_start: int       # first token of the body (inclusive)
+    body_end: int         # one past the last body token
+
+
+class SourceFile:
+    def __init__(self, path: str, rel: str, text: str,
+                 all_tokens: Optional[Sequence[Token]] = None):
+        self.path = path
+        self.rel = rel          # repo-relative path used for check scoping
+        self.text = text
+        self.lines = text.splitlines()
+        if all_tokens is None:
+            all_tokens = tokenize(text)
+        self.all_tokens: List[Token] = list(all_tokens)
+        self.tokens: List[Token] = [t for t in self.all_tokens if t.kind != "comment"]
+        self.comments: List[Comment] = self._build_comments()
+        # Line -> comments starting on it; and the set of lines any comment
+        # overlaps (block comments count on every line they span).
+        self._comments_by_line: Dict[int, List[Comment]] = {}
+        self._comment_cover: Dict[int, List[Comment]] = {}
+        for c in self.comments:
+            self._comments_by_line.setdefault(c.line, []).append(c)
+            for ln in range(c.line, c.end_line + 1):
+                self._comment_cover.setdefault(ln, []).append(c)
+        self._code_lines = {t.line for t in self.tokens}
+
+    # ---------------------------------------------------------------- comments
+
+    def _build_comments(self) -> List[Comment]:
+        out: List[Comment] = []
+        first_code_col: Dict[int, int] = {}
+        for t in self.tokens:
+            first_code_col.setdefault(t.line, t.col)
+        for t in self.all_tokens:
+            if t.kind != "comment":
+                continue
+            end_line = t.line + t.spelling.count("\n")
+            code_col = first_code_col.get(t.line)
+            own = code_col is None or code_col > t.col
+            out.append(Comment(t.spelling, t.line, end_line, t.col, own))
+        return out
+
+    def comments_on(self, line: int) -> List[Comment]:
+        """Comments overlapping `line` (block comments on all spanned lines)."""
+        return self._comment_cover.get(line, [])
+
+    def comment_block_above(self, line: int) -> List[Comment]:
+        """The contiguous run of own-line comments ending directly above `line`.
+
+        Blank lines break contiguity: a comment separated from the statement
+        by an empty line documents something else.
+        """
+        block: List[Comment] = []
+        ln = line - 1
+        while ln >= 1:
+            cs = [c for c in self._comments_by_line.get(ln, []) if c.own_line]
+            covering = self._comment_cover.get(ln, [])
+            if cs:
+                block = cs + block
+                ln = min(c.line for c in cs) - 1
+            elif covering and all(c.own_line for c in covering):
+                # interior line of a multi-line block comment
+                ln = min(c.line for c in covering) - 1
+                block = [c for c in covering if c not in block] + block
+            else:
+                break
+        return block
+
+    def has_code_on(self, line: int) -> bool:
+        return line in self._code_lines
+
+    # ------------------------------------------------------------- navigation
+
+    def match_forward(self, index: int) -> int:
+        """Index of the token closing the bracket opened at `index`."""
+        opener = self.tokens[index].spelling
+        closer = _OPEN[opener]
+        depth = 0
+        for j in range(index, len(self.tokens)):
+            s = self.tokens[j].spelling
+            if s == opener:
+                depth += 1
+            elif s == closer:
+                depth -= 1
+                if depth == 0:
+                    return j
+        return len(self.tokens) - 1
+
+    def statement_start(self, index: int) -> int:
+        """Index of the first token of the statement containing tokens[index].
+
+        Walks backwards to the nearest ';', '{', '}', or preprocessor-ish
+        boundary at the same nesting depth; the statement starts just after
+        it. Bracket nesting is respected so multi-line call argument lists
+        stay one statement.
+        """
+        depth = 0
+        j = index
+        while j > 0:
+            s = self.tokens[j - 1].spelling
+            if s in (")", "]"):
+                depth += 1
+            elif s in ("(", "["):
+                if depth > 0:
+                    depth -= 1
+                # An unmatched opener belongs to an enclosing call or loop
+                # header; the statement keeps going to its left.
+            elif depth == 0 and s in (";", "{", "}"):
+                break
+            j -= 1
+        return j
+
+    # ------------------------------------------------------------------ loops
+
+    def loops(self) -> Iterator[Loop]:
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "keyword" or t.spelling not in ("for", "while", "do"):
+                continue
+            if t.spelling == "do":
+                body_start, body_end = self._body_span(i + 1)
+                # `while (cond)` after the body
+                j = body_end
+                if j < len(toks) and toks[j].spelling == "while" and \
+                        j + 1 < len(toks) and toks[j + 1].spelling == "(":
+                    close = self.match_forward(j + 1)
+                    yield Loop("do", i, j + 2, close, body_start, body_end)
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].spelling != "(":
+                continue
+            close = self.match_forward(i + 1)
+            # Skip `while` that closes a do-loop: it is yielded above.
+            if t.spelling == "while" and i > 0 and toks[i - 1].spelling == "}":
+                # Heuristic: a do-loop's while is preceded by its body brace
+                # and followed by ';'.
+                if close + 1 < len(toks) and toks[close + 1].spelling == ";":
+                    continue
+            body_start, body_end = self._body_span(close + 1)
+            yield Loop(t.spelling, i, i + 2, close, body_start, body_end)
+
+    def _body_span(self, start: int):
+        toks = self.tokens
+        if start >= len(toks):
+            return start, start
+        if toks[start].spelling == "{":
+            end = self.match_forward(start)
+            return start, end + 1
+        # Single-statement body: up to the terminating ';' at depth 0.
+        depth = 0
+        j = start
+        while j < len(toks):
+            s = toks[j].spelling
+            if s in "([{":
+                depth += 1
+            elif s in ")]}":
+                depth -= 1
+            elif s == ";" and depth == 0:
+                return start, j + 1
+            j += 1
+        return start, j
+
+    def for_condition(self, loop: Loop) -> Optional[List[Token]]:
+        """The condition clause of a `for` loop (between the two ';').
+
+        Returns None for range-for loops (no ';' inside the parens) -- they
+        iterate a finite container and have no condition to classify.
+        """
+        toks = self.tokens
+        parts: List[List[Token]] = [[]]
+        depth = 0
+        for j in range(loop.cond_start, loop.cond_end):
+            s = toks[j].spelling
+            if s in "([{":
+                depth += 1
+            elif s in ")]}":
+                depth -= 1
+            if s == ";" and depth == 0:
+                parts.append([])
+            else:
+                parts[-1].append(toks[j])
+        return parts[1] if len(parts) >= 2 else None
+
+    def condition_tokens(self, loop: Loop) -> List[Token]:
+        if loop.cond_start < 0:
+            return []
+        if loop.keyword == "for":
+            return self.for_condition(loop) or []
+        return self.tokens[loop.cond_start:loop.cond_end]
+
+    def body_tokens(self, loop: Loop) -> List[Token]:
+        return self.tokens[loop.body_start:loop.body_end]
