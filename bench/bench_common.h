@@ -38,6 +38,10 @@ struct BenchOptions {
   bool full = false;
   bool analysis = false;
   bool progress = false;
+  // Sojourn-time SLO targets for open-loop scenarios, in modeled
+  // nanoseconds; 0 lets the scenario pick its documented defaults.
+  std::uint64_t slo_p99_ns = 0;
+  std::uint64_t slo_p999_ns = 0;
   // Non-null when the driver got --trace=FILE: locks are constructed with
   // this sink, and the grid labels a new trace run per benchmark cell.
   MemoryTraceSink* trace = nullptr;

@@ -14,6 +14,7 @@ void RegisterAllScenarios() {
     registry.Register(Fig9Scenario());
     registry.Register(Fig10Scenario());
     registry.Register(AblationScenario());
+    registry.Register(ServiceScenario());
     return true;
   }();
   (void)registered;

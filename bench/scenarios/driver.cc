@@ -106,6 +106,8 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   bool analysis = false;
   bool sched_runs = false;
   bool progress = false;
+  std::uint64_t slo_p99_ns = 0;
+  std::uint64_t slo_p999_ns = 0;
   std::string scenario_flag;
   bool run_all = false;
   std::string json_path;
@@ -145,6 +147,12 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
                 "scheduler, seeded from --seed (requires an RWLE_SCHED build)");
   flags.AddBool("progress", &progress,
                 "stream one line per completed run to stderr");
+  flags.AddUint("slo-p99-ns", &slo_p99_ns,
+                "open-loop scenarios: p99 sojourn target in modeled ns "
+                "(0 = scenario default)");
+  flags.AddUint("slo-p999-ns", &slo_p999_ns,
+                "open-loop scenarios: p99.9 sojourn target in modeled ns "
+                "(0 = scenario default)");
   flags.AddString("json", &json_path,
                   "write all selected scenarios as one JSON document to this file");
   flags.AddString("json-dir", &json_dir,
@@ -192,6 +200,8 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   options.full = full;
   options.analysis = analysis;
   options.progress = progress;
+  options.slo_p99_ns = slo_p99_ns;
+  options.slo_p999_ns = slo_p999_ns;
   if (analysis && !EnableAnalysis()) {
     return 1;
   }

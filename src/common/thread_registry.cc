@@ -19,24 +19,34 @@ ThreadRegistry& ThreadRegistry::Global() {
 }
 
 std::uint32_t ThreadRegistry::Register() {
-  for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
-    bool expected = false;
-    // Acq_rel: acquire the previous occupant's release in Unregister() so
-    // slot reuse happens-after its teardown; release pairs with the
-    // IsInUse() acquire loads of quiescence/aggregation scanners.
-    if (in_use_[slot].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
-      // Raise the scan watermark if this is the highest slot seen so far.
-      // Relaxed: the CAS below re-validates the value; a stale first read
-      // only costs one retry.
-      std::uint32_t watermark = high_watermark_.load(std::memory_order_relaxed);
-      // Acq_rel CAS: the release side publishes the raise to
-      // HighWatermark()'s acquire readers, so a scanner that sees the new
-      // bound also sees this slot registered.
-      while (watermark < slot + 1 &&
-             !high_watermark_.compare_exchange_weak(watermark, slot + 1,
-                                                    std::memory_order_acq_rel)) {
+  for (std::uint32_t word = 0; word < kInUseWords; ++word) {
+    // Relaxed: the claiming CAS below re-validates the word; a stale first
+    // read only costs one retry on the same word.
+    std::uint64_t bits = in_use_words_[word].load(std::memory_order_relaxed);
+    while (bits != ~std::uint64_t{0}) {
+      const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(~bits));
+      const std::uint64_t mask = std::uint64_t{1} << bit;
+      // Acq_rel CAS: acquire the previous occupant's release in Unregister()
+      // so slot reuse happens-after its teardown; release publishes the
+      // claim to the IsInUse() acquire loads of quiescence/aggregation
+      // scanners. Failure reloads `bits`, so the retry sees the lost race.
+      if (in_use_words_[word].compare_exchange_weak(bits, bits | mask,
+                                                    std::memory_order_acq_rel,
+                                                    std::memory_order_relaxed)) {
+        const std::uint32_t slot = word * 64 + bit;
+        // Raise the scan watermark if this is the highest slot seen so far.
+        // Relaxed: the CAS below re-validates the value; a stale first read
+        // only costs one retry.
+        std::uint32_t watermark = high_watermark_.load(std::memory_order_relaxed);
+        // Acq_rel CAS: the release side publishes the raise to
+        // HighWatermark()'s acquire readers, so a scanner that sees the new
+        // bound also sees this slot registered.
+        while (watermark < slot + 1 &&
+               !high_watermark_.compare_exchange_weak(watermark, slot + 1,
+                                                      std::memory_order_acq_rel)) {
+        }
+        return slot;
       }
-      return slot;
     }
   }
   RWLE_CHECK(false && "thread registry exhausted (kMaxThreads)");
@@ -45,11 +55,12 @@ std::uint32_t ThreadRegistry::Register() {
 
 void ThreadRegistry::Unregister(std::uint32_t slot) {
   RWLE_CHECK(slot < kMaxThreads);
-  // Relaxed: sanity check of our own slot's flag; only this thread clears it.
-  RWLE_CHECK(in_use_[slot].load(std::memory_order_relaxed));
+  const std::uint64_t mask = std::uint64_t{1} << (slot % 64);
   // Release: everything this thread did happens-before a later Register()
   // that recycles the slot (acq_rel CAS there) or an IsInUse() observer.
-  in_use_[slot].store(false, std::memory_order_release);
+  const std::uint64_t prev =
+      in_use_words_[slot / 64].fetch_and(~mask, std::memory_order_release);
+  RWLE_CHECK((prev & mask) != 0 && "unregistering a slot that is not in use");
 }
 
 std::uint32_t CurrentThreadSlot() { return tls_thread_slot; }

@@ -10,7 +10,7 @@
 
 namespace rwle {
 
-inline constexpr std::uint32_t kMaxThreads = 128;
+inline constexpr std::uint32_t kMaxThreads = 1024;
 inline constexpr std::uint32_t kInvalidThreadSlot = UINT32_MAX;
 
 class ThreadRegistry {
@@ -32,15 +32,27 @@ class ThreadRegistry {
   }
 
   bool IsInUse(std::uint32_t slot) const {
-    // Acquire: pairs with the release store in Register() -- seeing the
-    // slot in use implies seeing everything its thread did before that.
-    return in_use_[slot].load(std::memory_order_acquire);
+    // Acquire: pairs with the release ordering of the claiming CAS in
+    // Register() -- seeing the slot in use implies seeing everything its
+    // thread did before that.
+    return (in_use_words_[slot / 64].load(std::memory_order_acquire) >>
+            (slot % 64)) &
+           1;
   }
 
  private:
+  // Occupancy is a bitmap rather than an array of atomic<bool> so that
+  // Register() scans kMaxThreads / 64 words instead of kMaxThreads flags --
+  // at 1024 slots that is 16 loads, not 1024, and slot recycling stays a
+  // single CAS on the word holding the slot's bit.
+  static constexpr std::uint32_t kInUseWords = kMaxThreads / 64;
+  static_assert(kMaxThreads % 64 == 0,
+                "the occupancy bitmap packs 64 slots per word; a non-multiple "
+                "would leave the tail slots unreachable");
+
   ThreadRegistry() = default;
 
-  std::atomic<bool> in_use_[kMaxThreads] = {};
+  std::atomic<std::uint64_t> in_use_words_[kInUseWords] = {};
   std::atomic<std::uint32_t> high_watermark_{0};
 };
 

@@ -37,6 +37,9 @@ struct RunResult {
   // Modeled per-op latency percentiles; populated only by the ElidableLock
   // overload of RunBenchmark (all-zero counts otherwise).
   LatencySnapshot latency;
+  // Open-loop service measurement; populated only by RunServiceBenchmark
+  // (arrivals == 0 otherwise, and the serializer omits the block).
+  ServiceSnapshot service;
 
   double ModeledThroughput() const {
     return modeled_seconds > 0 ? static_cast<double>(total_ops) / modeled_seconds : 0.0;
@@ -57,6 +60,38 @@ RunResult RunBenchmark(const RunOptions& options, StatsRegistry& stats, const Op
 // registry before the run and snapshots it into result.latency after. The
 // op callback is still responsible for calling lock.Read/Write itself.
 RunResult RunBenchmark(const RunOptions& options, ElidableLock& lock, const OpFn& op);
+
+// Open-loop service run (DESIGN.md §12, EXPERIMENTS.md "Open-loop service
+// scenario"): instead of the closed fixed-work loop above, requests arrive
+// on a Poisson stream at `arrival_rate_ops` and each of `threads` servers
+// drains its own sub-stream FCFS along a virtual timeline of modeled
+// cycles. A server that is ahead of the next arrival idles -- the gap is
+// charged through CostMeter so the per-slot clock *is* the virtual time
+// axis (trace timestamps and sojourns share it); a server that is behind
+// accrues queueing delay for the waiting request.
+struct ServiceRunOptions {
+  std::uint32_t threads = 4;  // fixed server pool
+  // Total arrivals across all servers (split evenly; remainder to the
+  // first servers). Every arrival is eventually served: this measures
+  // latency under load, not load shedding.
+  std::uint64_t total_ops = 10000;
+  // Aggregate Poisson arrival rate in ops per modeled second. Each server
+  // draws an independent exponential inter-arrival stream at rate/threads
+  // (a superposition of Poisson streams is Poisson).
+  double arrival_rate_ops = 1e6;
+  double write_ratio = 0.1;
+  std::uint64_t seed = 42;
+  // Sojourn-time targets in modeled nanoseconds; 0 = no target.
+  std::uint64_t slo_p99_ns = 0;
+  std::uint64_t slo_p999_ns = 0;
+};
+
+// Runs the open-loop benchmark and fills result.service (sojourn
+// percentiles, achieved throughput, SLO verdict). result.modeled_seconds
+// is the virtual horizon (time until the last completion), so
+// ModeledThroughput() reports the *achieved* rate.
+RunResult RunServiceBenchmark(const ServiceRunOptions& options, ElidableLock& lock,
+                              const OpFn& op);
 
 }  // namespace rwle
 

@@ -97,6 +97,34 @@ void WriteLatency(JsonWriter& json, const LatencySnapshot& latency) {
   json.EndObject();
 }
 
+// Open-loop service block: flat keys mirror ServiceSnapshot's fields 1:1
+// (the rwle_lint stats-keys manifest ties the two together). Omitted for
+// closed-loop runs, which record no arrivals.
+void WriteService(JsonWriter& json, const ServiceSnapshot& service) {
+  if (service.arrivals == 0) {
+    return;
+  }
+  json.Key("service");
+  json.BeginObject();
+  json.Field("offered_rate_ops", service.offered_rate_ops);
+  json.Field("achieved_rate_ops", service.achieved_rate_ops);
+  json.Field("arrivals", service.arrivals);
+  json.Field("completions", service.completions);
+  json.Field("horizon_seconds", service.horizon_seconds);
+  json.Field("sojourn_mean_ns", service.sojourn_mean_ns);
+  json.Field("sojourn_p50_ns", service.sojourn_p50_ns);
+  json.Field("sojourn_p90_ns", service.sojourn_p90_ns);
+  json.Field("sojourn_p99_ns", service.sojourn_p99_ns);
+  json.Field("sojourn_p999_ns", service.sojourn_p999_ns);
+  json.Field("sojourn_max_ns", service.sojourn_max_ns);
+  json.Field("queue_delay_mean_ns", service.queue_delay_mean_ns);
+  json.Field("queue_delay_max_ns", service.queue_delay_max_ns);
+  json.Field("slo_p99_ns", service.slo_p99_ns);
+  json.Field("slo_p999_ns", service.slo_p999_ns);
+  json.Field("slo_met", service.slo_met);
+  json.EndObject();
+}
+
 void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   const RunResult& result = entry.result;
   const StatsSnapshot snapshot = result.stats.Snapshot();
@@ -117,6 +145,7 @@ void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   WriteBreakdown(json, "commits", snapshot.commits.Entries(), snapshot.commits.Total());
   WriteBreakdown(json, "aborts", snapshot.aborts.Entries(), snapshot.aborts.Total());
   WriteLatency(json, result.latency);
+  WriteService(json, result.service);
   json.EndObject();
 }
 

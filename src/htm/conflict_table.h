@@ -19,38 +19,48 @@ namespace rwle {
 // stale owner field left by a doomed transaction can never be confused with
 // that thread's next transaction. Token 0 means "unowned".
 //
-// Packing: [ epoch : 56 | thread_slot + 1 : 8 ]. The +1 bias keeps token 0
-// reserved for "unowned" while slot 0 stays representable. The 8-bit slot
-// field caps the simulator at 255 concurrently registered threads; the
+// Packing: [ epoch : 52 | thread_slot + 1 : 12 ]. The +1 bias keeps token 0
+// reserved for "unowned" while slot 0 stays representable. The 12-bit slot
+// field caps the simulator at 4094 concurrently registered threads; the
 // static_assert below ties that ceiling to kMaxThreads so widening one
 // without the other fails to compile rather than silently aliasing slots.
-// Epochs get the remaining 56 bits -- at one transaction per nanosecond
-// that wraps after ~2 years, far beyond any run, so wrap-around ABA on the
+// Epochs get the remaining 52 bits -- at one transaction per nanosecond
+// that wraps after ~52 days, far beyond any run, so wrap-around ABA on the
 // epoch field is not defended against.
 using OwnerToken = std::uint64_t;
 
-static_assert(kMaxThreads <= 255,
-              "OwnerToken packs thread_slot + 1 into its low 8 bits; widen the "
-              "slot field (and OwnerTokenSlot/OwnerTokenEpoch) before raising "
-              "kMaxThreads past 255");
+inline constexpr std::uint32_t kOwnerTokenSlotBits = 12;
+inline constexpr OwnerToken kOwnerTokenSlotMask =
+    (OwnerToken{1} << kOwnerTokenSlotBits) - 1;
+
+static_assert(kMaxThreads <= kOwnerTokenSlotMask - 1,
+              "OwnerToken packs thread_slot + 1 into its low "
+              "kOwnerTokenSlotBits bits; widen the slot field (and "
+              "OwnerTokenSlot/OwnerTokenEpoch) before raising kMaxThreads "
+              "past what it can hold");
 
 constexpr OwnerToken MakeOwnerToken(std::uint32_t thread_slot, std::uint64_t epoch) {
-  return (epoch << 8) | (static_cast<OwnerToken>(thread_slot) + 1);
+  return (epoch << kOwnerTokenSlotBits) | (static_cast<OwnerToken>(thread_slot) + 1);
 }
 
 // Inverse of MakeOwnerToken. Calling either on token 0 ("unowned") is
 // meaningless; callers test for 0 first.
 constexpr std::uint32_t OwnerTokenSlot(OwnerToken token) {
-  return static_cast<std::uint32_t>(token & 0xFF) - 1;
+  return static_cast<std::uint32_t>(token & kOwnerTokenSlotMask) - 1;
 }
 
-constexpr std::uint64_t OwnerTokenEpoch(OwnerToken token) { return token >> 8; }
+constexpr std::uint64_t OwnerTokenEpoch(OwnerToken token) {
+  return token >> kOwnerTokenSlotBits;
+}
 
 class ConflictTable {
  public:
   static constexpr std::uint32_t kSlotCountLog2 = 16;
   static constexpr std::uint32_t kSlotCount = 1u << kSlotCountLog2;
   static constexpr std::uint32_t kReaderWords = kMaxThreads / 64;
+  static_assert(kMaxThreads % 64 == 0,
+                "kReaderWords packs 64 reader bits per word; a non-multiple "
+                "kMaxThreads would silently round reader capacity down");
 
   struct LineSlot {
     std::atomic<OwnerToken> writer{0};

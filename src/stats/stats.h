@@ -203,6 +203,31 @@ struct StatsSnapshot {
   std::uint64_t TotalAttempts() const { return commits.Total() + aborts.Total(); }
 };
 
+// Open-loop service measurement (bench/scenarios/service.cc): a Poisson
+// arrival stream pushed through a fixed server pool, with per-request
+// sojourn time (queue wait + service time) summarized against a latency
+// SLO. Attached to a RunResult by RunServiceBenchmark; `arrivals` == 0
+// means "not a service run" and the serializer omits the block. Field
+// names are serialized verbatim as JSON keys (stats_keys.json manifest).
+struct ServiceSnapshot {
+  double offered_rate_ops = 0.0;   // configured Poisson arrival rate, ops/s
+  double achieved_rate_ops = 0.0;  // completions / horizon_seconds
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  double horizon_seconds = 0.0;  // modeled time until the last completion
+  double sojourn_mean_ns = 0.0;  // sojourn = queue wait + service time
+  std::uint64_t sojourn_p50_ns = 0;
+  std::uint64_t sojourn_p90_ns = 0;
+  std::uint64_t sojourn_p99_ns = 0;
+  std::uint64_t sojourn_p999_ns = 0;
+  std::uint64_t sojourn_max_ns = 0;
+  double queue_delay_mean_ns = 0.0;
+  std::uint64_t queue_delay_max_ns = 0;
+  std::uint64_t slo_p99_ns = 0;  // 0 = no target configured
+  std::uint64_t slo_p999_ns = 0;
+  bool slo_met = false;
+};
+
 struct ThreadStats {
   std::uint64_t commits[kCommitPathCount] = {};
   std::uint64_t aborts[kAbortCategoryCount] = {};
@@ -255,7 +280,12 @@ struct ThreadStats {
   }
 };
 
-// One shard per thread slot, cache-line separated.
+// One shard per thread slot, cache-line separated. Deliberately a direct
+// static array, not lazily allocated shards like LatencyRegistry /
+// MemoryTraceSink lanes: a shard is one cache line (vs 64 KiB / 512 KiB
+// there), so even at kMaxThreads = 1024 the whole table is 128 KiB per lock
+// instance, and Local() sits on the per-operation hot path where an extra
+// pointer chase measurably regresses rwle_read_section (~+20% ns/op).
 class StatsRegistry {
  public:
   // The calling thread's shard (requires a registered ScopedThreadSlot).

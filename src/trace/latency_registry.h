@@ -2,7 +2,7 @@
 // (op kind, commit path) pair, sharded by thread slot exactly like
 // StatsRegistry so recording is an unsynchronized owner-thread write.
 // Shards are allocated lazily by the first Record of each slot (a shard is
-// ~64 KiB of histogram counters; most of the 128 slots never run).
+// ~64 KiB of histogram counters; most of the kMaxThreads slots never run).
 // Snapshot/Reset are harvest-time operations: the harness calls them when
 // no worker threads are live.
 #ifndef RWLE_SRC_TRACE_LATENCY_REGISTRY_H_

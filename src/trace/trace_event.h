@@ -9,6 +9,9 @@
 #define RWLE_SRC_TRACE_TRACE_EVENT_H_
 
 #include <cstdint>
+#include <limits>
+
+#include "src/common/thread_registry.h"
 
 namespace rwle {
 
@@ -87,12 +90,16 @@ struct TraceEvent {
   std::uint64_t arg = 0;        // type-specific payload (kOpEnd: latency)
   std::uint32_t seq = 0;        // per-lane sequence number (sink-stamped)
   std::uint32_t run_id = 0;     // benchmark-run index (sink-stamped)
+  std::uint16_t thread_slot = 0;
   TraceEventType type = TraceEventType::kTxBegin;
-  std::uint8_t thread_slot = 0;  // kMaxThreads = 128 fits
-  std::uint8_t detail_a = 0;     // type-specific, see TraceEventType
+  std::uint8_t detail_a = 0;  // type-specific, see TraceEventType
   std::uint8_t detail_b = 0;
 };
 static_assert(sizeof(TraceEvent) <= 32, "TraceEvent grew past one half line");
+static_assert(kMaxThreads - 1 <=
+                  std::numeric_limits<decltype(TraceEvent::thread_slot)>::max(),
+              "TraceEvent::thread_slot must be wide enough for every slot; "
+              "widen the field before raising kMaxThreads past 65536");
 
 }  // namespace rwle
 

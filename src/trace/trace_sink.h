@@ -52,7 +52,7 @@ inline void EmitTraceEvent(TraceSink* sink, std::uint32_t thread_slot,
   TraceEvent event;
   event.timestamp = CostMeter::Global().SlotCycles(thread_slot);
   event.type = type;
-  event.thread_slot = static_cast<std::uint8_t>(thread_slot);
+  event.thread_slot = static_cast<std::uint16_t>(thread_slot);
   event.detail_a = detail_a;
   event.detail_b = detail_b;
   event.arg = arg;

@@ -154,6 +154,41 @@ TEST(ThreadRegistryTest, SequentialRegistrationsRecycleSlots) {
   EXPECT_EQ(CurrentThreadSlot(), slot.slot());
 }
 
+TEST(ThreadRegistryTest, FullWidthRegistrationAndRecycling) {
+  // Drive the registry to capacity directly (no OS threads needed): every
+  // free slot up to kMaxThreads must be claimable exactly once, including
+  // the slots past the old 8-bit OwnerToken ceiling, and all of them must
+  // recycle cleanly afterwards.
+  ThreadRegistry& registry = ThreadRegistry::Global();
+  std::uint32_t already_in_use = 0;
+  for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
+    if (registry.IsInUse(slot)) {
+      ++already_in_use;
+    }
+  }
+  std::vector<std::uint32_t> claimed;
+  std::set<std::uint32_t> unique;
+  for (std::uint32_t i = 0; i < kMaxThreads - already_in_use; ++i) {
+    const std::uint32_t slot = registry.Register();
+    claimed.push_back(slot);
+    EXPECT_TRUE(unique.insert(slot).second) << "slot handed out twice: " << slot;
+    EXPECT_TRUE(registry.IsInUse(slot));
+  }
+  // The table is now full: the highest slot was handed out and the scan
+  // watermark covers the whole table.
+  EXPECT_EQ(unique.count(kMaxThreads - 1), 1u);
+  EXPECT_EQ(registry.HighWatermark(), kMaxThreads);
+  EXPECT_GT(*unique.rbegin(), 255u);  // beyond the old 8-bit ceiling
+  for (const std::uint32_t slot : claimed) {
+    registry.Unregister(slot);
+    EXPECT_FALSE(registry.IsInUse(slot));
+  }
+  // Recycling: the lowest freed slot comes back first.
+  const std::uint32_t recycled = registry.Register();
+  EXPECT_EQ(recycled, *unique.begin());
+  registry.Unregister(recycled);
+}
+
 TEST(ThreadRegistryTest, ConcurrentRegistrationsAreUnique) {
   constexpr int kThreads = 16;
   std::atomic<std::uint64_t> bitmap{0};

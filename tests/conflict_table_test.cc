@@ -13,14 +13,26 @@ namespace rwle {
 namespace {
 
 TEST(OwnerTokenTest, PacksAndUnpacksSlotAndEpoch) {
-  for (std::uint32_t slot : {0u, 1u, 63u, 127u}) {
-    for (std::uint64_t epoch : {0ull, 1ull, 4096ull, (1ull << 40)}) {
+  // Slots past 255 exercise the widened 12-bit slot field (the pre-widening
+  // packing kept only 8 bits and would alias these).
+  for (std::uint32_t slot : {0u, 1u, 63u, 127u, 255u, 256u, kMaxThreads - 1}) {
+    for (std::uint64_t epoch : {0ull, 1ull, 4096ull, (1ull << 40), (1ull << 48)}) {
       const OwnerToken token = MakeOwnerToken(slot, epoch);
       EXPECT_NE(token, 0u);  // 0 is reserved for "unowned"
       EXPECT_EQ(OwnerTokenSlot(token), slot);
       EXPECT_EQ(OwnerTokenEpoch(token), epoch);
     }
   }
+}
+
+TEST(OwnerTokenTest, DistinctHighSlotsYieldDistinctTokens) {
+  // Adjacent high slots under one epoch must never collide; this is exactly
+  // the aliasing an 8-bit field would produce for slots 256 apart.
+  const std::uint64_t epoch = 77;
+  EXPECT_NE(MakeOwnerToken(0, epoch), MakeOwnerToken(256, epoch));
+  EXPECT_NE(MakeOwnerToken(1, epoch), MakeOwnerToken(257, epoch));
+  EXPECT_NE(MakeOwnerToken(kMaxThreads - 1, epoch),
+            MakeOwnerToken(kMaxThreads - 257, epoch));
 }
 
 TEST(StatusWordTest, PacksPhaseCauseEpoch) {
@@ -49,16 +61,21 @@ TEST(ConflictTableTest, SlotAtMatchesIndexFor) {
 
 TEST(ConflictTableTest, ReaderBitsAreIndependent) {
   ConflictTable::LineSlot slot;
-  for (std::uint32_t thread : {0u, 5u, 63u, 64u, 127u}) {
+  for (std::uint32_t thread : {0u, 5u, 63u, 64u, 127u, 128u, 255u, 256u, 511u,
+                               kMaxThreads - 1}) {
     EXPECT_FALSE(ConflictTable::TestReaderBit(slot, thread));
     ConflictTable::SetReaderBit(slot, thread);
     EXPECT_TRUE(ConflictTable::TestReaderBit(slot, thread));
   }
-  // Clearing one leaves the others.
+  // Clearing one leaves the others, including across reader-word boundaries.
   ConflictTable::ClearReaderBit(slot, 64);
   EXPECT_FALSE(ConflictTable::TestReaderBit(slot, 64));
   EXPECT_TRUE(ConflictTable::TestReaderBit(slot, 63));
   EXPECT_TRUE(ConflictTable::TestReaderBit(slot, 127));
+  ConflictTable::ClearReaderBit(slot, 256);
+  EXPECT_FALSE(ConflictTable::TestReaderBit(slot, 256));
+  EXPECT_TRUE(ConflictTable::TestReaderBit(slot, 255));
+  EXPECT_TRUE(ConflictTable::TestReaderBit(slot, kMaxThreads - 1));
 }
 
 TEST(ConflictTableTest, WriterFieldStartsUnowned) {

@@ -355,5 +355,118 @@ TEST(StatsSnapshotTest, SnapshotMirrorsRawCounters) {
   EXPECT_EQ(abort_entries[3].count, 5u);
 }
 
+// --- Open-loop service engine (RunServiceBenchmark) ------------------------
+
+namespace service_test {
+
+ServiceRunOptions BaseOptions() {
+  ServiceRunOptions options;
+  options.threads = 3;
+  options.total_ops = 600;
+  options.arrival_rate_ops = 5e6;
+  options.write_ratio = 0.2;
+  options.seed = 42;
+  return options;
+}
+
+OpFn CounterOp(ElidableLock& lock, TxVar<std::uint64_t>& cell) {
+  return [&](std::uint32_t, Rng&, bool is_write) {
+    if (is_write) {
+      lock.Write([&] { cell.Store(cell.Load() + 1); });
+    } else {
+      lock.Read([&] { (void)cell.Load(); });
+    }
+  };
+}
+
+}  // namespace service_test
+
+TEST(ServiceBenchmarkTest, BooksBalanceAndSnapshotIsCoherent) {
+  auto lock = MakeLock("rwle-opt");
+  TxVar<std::uint64_t> cell(0);
+  const ServiceRunOptions options = service_test::BaseOptions();
+
+  const RunResult result =
+      RunServiceBenchmark(options, *lock, service_test::CounterOp(*lock, cell));
+
+  // Every arrival is served exactly once, through the lock.
+  EXPECT_EQ(result.service.arrivals, options.total_ops);
+  EXPECT_EQ(result.service.completions, options.total_ops);
+  EXPECT_EQ(result.stats.TotalCommits(), options.total_ops);
+
+  // The modeled clock is the virtual horizon, so ModeledThroughput() is the
+  // achieved rate.
+  EXPECT_GT(result.service.horizon_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.modeled_seconds, result.service.horizon_seconds);
+  EXPECT_NEAR(result.ModeledThroughput(), result.service.achieved_rate_ops, 1e-6);
+  EXPECT_DOUBLE_EQ(result.service.offered_rate_ops, options.arrival_rate_ops);
+
+  // Percentile ladder is monotone and max dominates.
+  EXPECT_GT(result.service.sojourn_mean_ns, 0.0);
+  EXPECT_LE(result.service.sojourn_p50_ns, result.service.sojourn_p90_ns);
+  EXPECT_LE(result.service.sojourn_p90_ns, result.service.sojourn_p99_ns);
+  EXPECT_LE(result.service.sojourn_p99_ns, result.service.sojourn_p999_ns);
+  EXPECT_LE(result.service.sojourn_p999_ns, result.service.sojourn_max_ns);
+
+  // The lock overload still snapshots per-op latency alongside sojourns.
+  const LatencyStats& read = result.latency.op[static_cast<int>(OpKind::kRead)];
+  const LatencyStats& write = result.latency.op[static_cast<int>(OpKind::kWrite)];
+  EXPECT_EQ(read.count + write.count, options.total_ops);
+}
+
+TEST(ServiceBenchmarkTest, SingleServerRunIsDeterministic) {
+  // One server: no OS-scheduling influence on the modeled axis, so the whole
+  // snapshot must replay bit-identically for a fixed seed.
+  ServiceRunOptions options = service_test::BaseOptions();
+  options.threads = 1;
+  options.total_ops = 400;
+
+  ServiceSnapshot snapshots[2];
+  for (auto& snapshot : snapshots) {
+    auto lock = MakeLock("rwle-opt");
+    TxVar<std::uint64_t> cell(0);
+    snapshot =
+        RunServiceBenchmark(options, *lock, service_test::CounterOp(*lock, cell))
+            .service;
+  }
+  EXPECT_DOUBLE_EQ(snapshots[0].horizon_seconds, snapshots[1].horizon_seconds);
+  EXPECT_DOUBLE_EQ(snapshots[0].sojourn_mean_ns, snapshots[1].sojourn_mean_ns);
+  EXPECT_EQ(snapshots[0].sojourn_p99_ns, snapshots[1].sojourn_p99_ns);
+  EXPECT_EQ(snapshots[0].sojourn_max_ns, snapshots[1].sojourn_max_ns);
+  EXPECT_EQ(snapshots[0].queue_delay_max_ns, snapshots[1].queue_delay_max_ns);
+}
+
+TEST(ServiceBenchmarkTest, LightLoadBarelyQueuesAndOverloadSaturates) {
+  // Far below capacity the servers idle between arrivals: queueing delay is
+  // (near) zero and the achieved rate tracks the offered rate. Far above
+  // capacity the achieved rate pins at capacity, well short of offered.
+  auto light_lock = MakeLock("rwle-opt");
+  TxVar<std::uint64_t> light_cell(0);
+  ServiceRunOptions light = service_test::BaseOptions();
+  light.arrival_rate_ops = 1e4;  // ~100us between arrivals vs ~100ns service
+  const ServiceSnapshot light_service =
+      RunServiceBenchmark(light, *light_lock,
+                          service_test::CounterOp(*light_lock, light_cell))
+          .service;
+  EXPECT_LT(light_service.queue_delay_mean_ns, 10.0);
+  EXPECT_NEAR(light_service.achieved_rate_ops / light_service.offered_rate_ops,
+              1.0, 0.15);
+
+  auto over_lock = MakeLock("rwle-opt");
+  TxVar<std::uint64_t> over_cell(0);
+  ServiceRunOptions over = service_test::BaseOptions();
+  over.arrival_rate_ops = 1e9;  // 1 op/ns offered: far beyond capacity
+  over.slo_p99_ns = 1;          // unmeetable target
+  over.slo_p999_ns = 1;
+  const ServiceSnapshot over_service =
+      RunServiceBenchmark(over, *over_lock,
+                          service_test::CounterOp(*over_lock, over_cell))
+          .service;
+  EXPECT_LT(over_service.achieved_rate_ops, over_service.offered_rate_ops / 2);
+  EXPECT_GT(over_service.queue_delay_mean_ns, light_service.queue_delay_mean_ns);
+  EXPECT_FALSE(over_service.slo_met);
+  EXPECT_TRUE(light_service.slo_met);  // both targets 0 = no target
+}
+
 }  // namespace
 }  // namespace rwle

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -209,6 +211,56 @@ TEST_P(HarnessMatrixTest, TpccMoneyConserved) {
   });
   (void)workload.db().TotalYtdDirect();  // internal warehouse==district check
   EXPECT_TRUE(workload.db().CheckOrderRingsDirect()) << GetParam();
+}
+
+// The widened slot/token representation end-to-end: more concurrently
+// registered threads than the old 8-bit OwnerToken slot field could name,
+// all committing write transactions through the fabric on one lock. A lost
+// increment here would mean a high slot aliased a low one somewhere in the
+// conflict-table / dooming machinery.
+TEST(WideThreadTest, ConcurrentWritersBeyondOldSlotCeiling) {
+  constexpr int kThreads = 300;
+  constexpr int kOpsPerThread = 4;
+  static_assert(kThreads <= static_cast<int>(kMaxThreads));
+  auto lock = MakeLock("rwle-opt");
+  ASSERT_NE(lock, nullptr);
+  TxVar<std::uint64_t> counter(0);
+  // Condvar gate (not a spin barrier): with 300 threads on a small host a
+  // spin rendezvous would thrash, and the point is concurrent registration,
+  // not a synchronized start.
+  std::mutex mutex;
+  std::condition_variable all_registered;
+  int registered = 0;
+  std::atomic<std::uint32_t> max_slot{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ScopedThreadSlot slot;
+      {
+        std::unique_lock<std::mutex> held(mutex);
+        if (++registered == kThreads) {
+          all_registered.notify_all();
+        } else {
+          all_registered.wait(held, [&] { return registered >= kThreads; });
+        }
+      }
+      std::uint32_t seen = max_slot.load();
+      while (seen < slot.slot() && !max_slot.compare_exchange_weak(seen, slot.slot())) {
+      }
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        lock->Write([&] { counter.Store(counter.Load() + 1); });
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // 300 concurrently held slots are distinct, so the highest observed one
+  // must exceed the old 255-slot ceiling.
+  EXPECT_GT(max_slot.load(), 255u);
+  EXPECT_EQ(counter.LoadDirect(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, HarnessMatrixTest,

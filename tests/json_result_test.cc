@@ -518,6 +518,66 @@ TEST(ResultSerializerTest, LatencyBlockRoundTrips) {
   EXPECT_FALSE(write_paths.Has("rot"));
 }
 
+// Service blocks: omitted for closed-loop runs (arrivals == 0), and the
+// flat ServiceSnapshot mirror round-trips when present.
+TEST(ResultSerializerTest, ServiceBlockIsOmittedForClosedLoopRuns) {
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 10.0, TestResult(2));
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  EXPECT_FALSE(first.Has("service"));
+}
+
+TEST(ResultSerializerTest, ServiceBlockRoundTrips) {
+  RunResult result = TestResult(4);
+  ServiceSnapshot& service = result.service;
+  service.offered_rate_ops = 2.5e6;
+  service.achieved_rate_ops = 2.4e6;
+  service.arrivals = 20000;
+  service.completions = 20000;
+  service.horizon_seconds = 0.008;
+  service.sojourn_mean_ns = 310.25;
+  service.sojourn_p50_ns = 220;
+  service.sojourn_p90_ns = 540;
+  service.sojourn_p99_ns = 1400;
+  service.sojourn_p999_ns = 2300;
+  service.sojourn_max_ns = 9001;
+  service.queue_delay_mean_ns = 42.5;
+  service.queue_delay_max_ns = 7777;
+  service.slo_p99_ns = 50000;
+  service.slo_p999_ns = 200000;
+  service.slo_met = true;
+
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 30.0, result);
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+
+  const JsonValue& block =
+      doc->At("scenarios").items[0]->At("results").items[0]->At("service");
+  EXPECT_EQ(block.At("offered_rate_ops").AsDouble(), 2.5e6);
+  EXPECT_EQ(block.At("achieved_rate_ops").AsDouble(), 2.4e6);
+  EXPECT_EQ(block.At("arrivals").AsUint(), 20000u);
+  EXPECT_EQ(block.At("completions").AsUint(), 20000u);
+  EXPECT_EQ(block.At("horizon_seconds").AsDouble(), 0.008);
+  EXPECT_EQ(block.At("sojourn_mean_ns").AsDouble(), 310.25);
+  EXPECT_EQ(block.At("sojourn_p50_ns").AsUint(), 220u);
+  EXPECT_EQ(block.At("sojourn_p90_ns").AsUint(), 540u);
+  EXPECT_EQ(block.At("sojourn_p99_ns").AsUint(), 1400u);
+  EXPECT_EQ(block.At("sojourn_p999_ns").AsUint(), 2300u);
+  EXPECT_EQ(block.At("sojourn_max_ns").AsUint(), 9001u);
+  EXPECT_EQ(block.At("queue_delay_mean_ns").AsDouble(), 42.5);
+  EXPECT_EQ(block.At("queue_delay_max_ns").AsUint(), 7777u);
+  EXPECT_EQ(block.At("slo_p99_ns").AsUint(), 50000u);
+  EXPECT_EQ(block.At("slo_p999_ns").AsUint(), 200000u);
+  EXPECT_TRUE(block.At("slo_met").AsBool());
+}
+
 TEST(ResultSerializerTest, MultipleScenariosKeepOrder) {
   RunManifest manifest_a = TestManifest();
   manifest_a.scenario = "fig3";

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Unit-style checks for tools/bench_compare.py gating semantics.
+
+Synthesizes tiny rwle_bench documents and runs the comparator as a
+subprocess, pinning the behaviors CI depends on:
+
+  * matched runs within threshold pass,
+  * a modeled-throughput regression fails,
+  * under --require-complete, a run missing from a scenario the baseline
+    knows fails, while a whole scenario absent from the baseline is only a
+    "new scenario (no baseline)" note -- so landing a new scenario does not
+    break the smoke gate before the baseline is refreshed.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BENCH_COMPARE = os.path.join(REPO_ROOT, "tools", "bench_compare.py")
+
+
+def make_run(scheme, panel, threads, throughput):
+    return {
+        "scheme": scheme,
+        "panel_value": panel,
+        "threads": threads,
+        "total_ops": 1000,
+        "wall_seconds": 0.01,
+        "modeled_seconds": 1000.0 / throughput,
+        "modeled_throughput_ops": throughput,
+        "commits": {"total": 1000},
+        "aborts": {"total": 0},
+    }
+
+
+def make_doc(scenarios):
+    """scenarios: {name: [run, ...]}."""
+    return {
+        "format_version": 1,
+        "generator": "rwle_bench",
+        "scenarios": [
+            {"manifest": {"scenario": name}, "results": runs}
+            for name, runs in scenarios.items()
+        ],
+    }
+
+
+def run_compare(tmpdir, baseline, current, *extra_args):
+    base_path = os.path.join(tmpdir, "baseline.json")
+    cur_path = os.path.join(tmpdir, "current.json")
+    with open(base_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f)
+    with open(cur_path, "w", encoding="utf-8") as f:
+        json.dump(current, f)
+    proc = subprocess.run(
+        [sys.executable, BENCH_COMPARE, base_path, cur_path, *extra_args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc
+
+
+def expect(condition, label, proc):
+    if condition:
+        print(f"PASS {label}")
+        return True
+    print(f"FAIL {label}")
+    print(f"  exit={proc.returncode}")
+    print("  stdout: " + proc.stdout.replace("\n", "\n          "))
+    print("  stderr: " + proc.stderr.replace("\n", "\n          "))
+    return False
+
+
+def main():
+    baseline = make_doc(
+        {
+            "fig3": [
+                make_run("rwle-opt", 10.0, 2, 1_000_000.0),
+                make_run("sgl", 10.0, 2, 500_000.0),
+            ]
+        }
+    )
+    ok = True
+    with tempfile.TemporaryDirectory() as tmpdir:
+        # Identical documents pass, including under --require-complete.
+        proc = run_compare(tmpdir, baseline, baseline, "--require-complete")
+        ok &= expect(proc.returncode == 0, "identical documents pass", proc)
+
+        # A >threshold throughput drop fails.
+        regressed = copy.deepcopy(baseline)
+        regressed["scenarios"][0]["results"][0]["modeled_throughput_ops"] = 800_000.0
+        proc = run_compare(tmpdir, baseline, regressed)
+        ok &= expect(
+            proc.returncode == 1 and "regressed" in proc.stdout,
+            "throughput regression fails",
+            proc,
+        )
+
+        # A run missing from a *known* scenario still fails the completeness
+        # gate.
+        partial = copy.deepcopy(baseline)
+        del partial["scenarios"][0]["results"][1]
+        proc = run_compare(tmpdir, partial, baseline, "--require-complete")
+        ok &= expect(
+            proc.returncode == 1 and "missing from baseline" in proc.stdout,
+            "missing run in known scenario fails",
+            proc,
+        )
+
+        # A whole scenario the baseline has never seen is a note, not a
+        # failure -- the gate keeps guarding fig3 while `service` is new.
+        with_new = copy.deepcopy(baseline)
+        with_new["scenarios"].append(
+            {
+                "manifest": {"scenario": "service"},
+                "results": [make_run("rwle-opt", 30.0, 4, 2_000_000.0)],
+            }
+        )
+        proc = run_compare(tmpdir, baseline, with_new, "--require-complete")
+        ok &= expect(
+            proc.returncode == 0 and "new scenario (no baseline)" in proc.stdout,
+            "new scenario is a note, not a failure",
+            proc,
+        )
+
+        # ... but regressions in the old scenarios still fail alongside the
+        # new-scenario note.
+        new_and_regressed = copy.deepcopy(with_new)
+        new_and_regressed["scenarios"][0]["results"][0]["modeled_throughput_ops"] = 800_000.0
+        proc = run_compare(tmpdir, baseline, new_and_regressed, "--require-complete")
+        ok &= expect(
+            proc.returncode == 1
+            and "regressed" in proc.stdout
+            and "new scenario (no baseline)" in proc.stdout,
+            "new scenario note does not mask old regressions",
+            proc,
+        )
+
+    if not ok:
+        sys.exit(1)
+    print("bench_compare_test: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -280,9 +280,20 @@ def main():
         failures.extend(
             f"missing from current: {format_key(k)}" for k in missing_current
         )
-        failures.extend(
-            f"missing from baseline: {format_key(k)}" for k in missing_baseline
-        )
+        # A scenario that does not exist in the baseline at all is new work
+        # (the baseline predates it), not an incomplete run: report it as a
+        # note so CI can gate the old scenarios the moment a new one lands,
+        # before the baseline is refreshed. Runs missing from a scenario the
+        # baseline *does* know remain failures.
+        baseline_scenarios = {k[0] for k in baseline}
+        for key in missing_baseline:
+            if key[0] not in baseline_scenarios:
+                print(
+                    f"bench_compare: note: {format_key(key)}: new scenario "
+                    f"(no baseline); refresh the baseline to start gating it"
+                )
+            else:
+                failures.append(f"missing from baseline: {format_key(key)}")
 
     print(
         f"bench_compare: {compared} matched runs "

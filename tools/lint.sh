@@ -26,6 +26,10 @@ if command -v python3 >/dev/null 2>&1; then
     python3 "$tool" --help >/dev/null
   done
 
+  # bench_compare gating semantics (same test ctest runs): cheap, pure
+  # Python, and the CI smoke jobs depend on these exact exit codes.
+  python3 tests/tools/bench_compare_test.py >/dev/null
+
   # The invariant checker itself. Under REQUIRE_LINT the libclang backend is
   # mandatory (CI installs python3-clang); otherwise auto-fallback to the
   # built-in lexer keeps the check running on plain dev boxes.
