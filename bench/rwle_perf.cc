@@ -31,6 +31,7 @@
 #include "src/harness/perf_report.h"
 #include "src/harness/result_serializer.h"
 #include "src/htm/htm_runtime.h"
+#include "src/locks/bravo_lock.h"
 #include "src/memory/tx_var.h"
 #include "src/rwle/rwle_lock.h"
 #include "src/trace/trace_sink.h"
@@ -145,6 +146,37 @@ void RwLeWriteSection(std::uint64_t ops) {
   }
 }
 
+// BRAVO biased reader fast path: bias check, slot-hashed table publish,
+// bias recheck, uninstrumented load, withdraw -- the read that never
+// touches the centralized underlay word.
+void BravoReadSection(std::uint64_t ops) {
+  static BravoLock lock;
+  static TxVar<std::uint64_t> cell(1);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    std::uint64_t value = 0;
+    lock.Read([&] { value = cell.Load(); });
+    KeepAlive(value);
+  }
+}
+
+// One op = a write that revokes the bias (clear + full-table drain scan)
+// plus the slow read that immediately re-arms it (inhibit_multiplier = 0,
+// the setting Options documents for exactly this benchmark).
+void BravoRevoke(std::uint64_t ops) {
+  static BravoLock lock([] {
+    BravoLock::Options options;
+    options.inhibit_multiplier = 0;
+    return options;
+  }());
+  static TxVar<std::uint64_t> cell(1);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    lock.Write([&] { cell.Store(cell.Load() + 1); });
+    std::uint64_t value = 0;
+    lock.Read([&] { value = cell.Load(); });
+    KeepAlive(value);
+  }
+}
+
 // The quiescence scan with no readers in flight: snapshot all epoch clocks
 // up to the registry watermark, nothing odd, return.
 void QuiescenceScan(std::uint64_t ops) {
@@ -187,6 +219,10 @@ constexpr MicroBench kBenchmarks[] = {
      RwLeReadSection},
     {"rwle_write_section", "RwLeLock.Write: HTM path incl. quiescence",
      RwLeWriteSection},
+    {"bravo_read_section", "BravoLock.Read: biased fast path via the reader table",
+     BravoReadSection},
+    {"bravo_revoke", "BravoLock: bias revocation (table drain) + re-arming read",
+     BravoRevoke},
     {"quiescence_scan", "RwLeLock.Synchronize with no readers", QuiescenceScan},
     {"trace_ring_append", "EmitTraceEvent into a MemoryTraceSink lane", TraceRingAppend},
 };

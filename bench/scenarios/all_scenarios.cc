@@ -15,6 +15,7 @@ void RegisterAllScenarios() {
     registry.Register(Fig10Scenario());
     registry.Register(AblationScenario());
     registry.Register(ServiceScenario());
+    registry.Register(FallbackScenario());
     return true;
   }();
   (void)registered;

@@ -17,6 +17,7 @@ ScenarioSpec Fig9Scenario();      // Kyoto Cabinet CacheDB (wicked)
 ScenarioSpec Fig10Scenario();     // TPC-C-lite
 ScenarioSpec AblationScenario();  // §3.3 design-knob ablations
 ScenarioSpec ServiceScenario();   // open-loop Poisson/Zipf service study
+ScenarioSpec FallbackScenario();  // centralized vs BRAVO fallback crossover
 
 // Registers every scenario above in ScenarioRegistry::Global(), in paper
 // order. Idempotent: safe to call from multiple entry points.

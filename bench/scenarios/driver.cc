@@ -60,7 +60,7 @@ void PrintScenarioList() {
 void PrintSchemeList() {
   std::printf("Schemes accepted by --schemes (from the lock factory):\n\n");
   for (const SchemeInfo& scheme : AllSchemes()) {
-    std::printf("  %-14s %s\n", scheme.name, scheme.description);
+    std::printf("  %-18s %s\n", scheme.name.c_str(), scheme.description.c_str());
   }
   std::printf("\nDefault sweep set (paper plot order): ");
   for (const auto& name : AllLockNames()) {

@@ -125,6 +125,15 @@ void WriteService(JsonWriter& json, const ServiceSnapshot& service) {
   json.EndObject();
 }
 
+// BRAVO bias / revocation counters; omitted for schemes without a BRAVO
+// component (all counters zero).
+void WriteBravo(JsonWriter& json, const BravoBreakdown& bravo) {
+  if (bravo.Total() == 0) {
+    return;
+  }
+  WriteBreakdown(json, "bravo", bravo.Entries(), bravo.Total());
+}
+
 void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   const RunResult& result = entry.result;
   const StatsSnapshot snapshot = result.stats.Snapshot();
@@ -144,6 +153,7 @@ void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   json.EndObject();
   WriteBreakdown(json, "commits", snapshot.commits.Entries(), snapshot.commits.Total());
   WriteBreakdown(json, "aborts", snapshot.aborts.Entries(), snapshot.aborts.Total());
+  WriteBravo(json, snapshot.bravo);
   WriteLatency(json, result.latency);
   WriteService(json, result.service);
   json.EndObject();

@@ -1,6 +1,9 @@
 #include "src/locks/lock_factory.h"
 
+#include <cstring>
+
 #include "src/locks/br_lock.h"
+#include "src/locks/bravo_lock.h"
 #include "src/locks/hle_lock.h"
 #include "src/locks/rw_lock.h"
 #include "src/locks/sgl_lock.h"
@@ -11,6 +14,8 @@ namespace rwle {
 namespace {
 
 // Wraps a concrete lock in a named LockAdapter with the trace sink applied.
+// `name` is the full scheme string (suffix included) so it round-trips
+// through ElidableLock::name().
 template <typename Lock, typename... Args>
 std::unique_ptr<ElidableLock> Adapt(const std::string& name, const LockOptions& options,
                                     Args&&... args) {
@@ -24,86 +29,145 @@ RwLePolicy PolicyFromOptions(const LockOptions& options) {
   policy.max_htm_retries = options.max_htm_retries;
   policy.max_rot_retries = options.max_rot_retries;
   policy.single_scan_ns_sync = options.single_scan_ns_sync;
+  policy.fallback = options.fallback;
   policy.trace_sink = options.trace_sink;
   return policy;
+}
+
+template <RwLeVariant V, bool UseRot = true, bool Split = false, bool Adaptive = false>
+std::unique_ptr<ElidableLock> MakeRwLe(const std::string& name, const LockOptions& options) {
+  RwLePolicy policy = PolicyFromOptions(options);
+  policy.variant = V;
+  policy.use_rot = UseRot;
+  policy.split_rot_ns_locks = Split;
+  policy.adaptive = Adaptive;
+  return Adapt<RwLeLock>(name, options, policy);
+}
+
+std::unique_ptr<ElidableLock> MakeHle(const std::string& name, const LockOptions& options) {
+  return Adapt<HleLock>(name, options, options.max_htm_retries, options.trace_sink);
+}
+
+std::unique_ptr<ElidableLock> MakeBravo(const std::string& name, const LockOptions& options) {
+  BravoLock::Options bravo_options;
+  bravo_options.trace_sink = options.trace_sink;
+  return Adapt<BravoLock>(name, options, bravo_options);
+}
+
+template <typename Lock>
+std::unique_ptr<ElidableLock> MakeSimple(const std::string& name, const LockOptions& options) {
+  return Adapt<Lock>(name, options);
+}
+
+// The one registration table: MakeLock dispatch, AllLockNames() and
+// AllSchemes() all derive from it, so a scheme added here shows up
+// everywhere at once (and nowhere else needs touching).
+struct SchemeDef {
+  const char* name;
+  const char* description;
+  bool rwle_base;      // honors LockOptions::fallback / the "+<fallback>" suffix
+  bool default_sweep;  // member of AllLockNames(), in table order
+  std::unique_ptr<ElidableLock> (*make)(const std::string& name,
+                                        const LockOptions& options);
+};
+
+constexpr SchemeDef kSchemes[] = {
+    {"rwle", "alias for rwle-opt (the grammar's base: rwle[+<fallback>])", true,
+     false, MakeRwLe<RwLeVariant::kOpt>},
+    {"rwle-opt", "RW-LE, OPT variant (Algorithm 2, eager readers)", true, true,
+     MakeRwLe<RwLeVariant::kOpt>},
+    {"rwle-pes", "RW-LE, PES variant (pessimistic writer ROTs)", true, true,
+     MakeRwLe<RwLeVariant::kPes>},
+    {"rwle-fair", "RW-LE FAIR variant with the ROT fallback off (Figure 7)", true,
+     false, MakeRwLe<RwLeVariant::kFair, false>},
+    {"rwle-norot", "RW-LE with the ROT fallback disabled (Figure 7 baseline)", true,
+     false, MakeRwLe<RwLeVariant::kOpt, false>},
+    {"rwle-split", "RW-LE with split ROT/NS locks (§3.3 optimization)", true, false,
+     MakeRwLe<RwLeVariant::kOpt, true, true>},
+    {"rwle-adaptive", "RW-LE with the adaptive retry-budget tuner", true, false,
+     MakeRwLe<RwLeVariant::kOpt, true, false, true>},
+    {"hle", "classic HTM lock elision (every section speculates)", false, true,
+     MakeHle},
+    {"brlock", "big-reader lock (per-thread reader mutexes)", false, true,
+     MakeSimple<BrLock>},
+    {"bravo", "standalone BRAVO-biased rw-lock (distributed visible readers)",
+     false, false, MakeBravo},
+    {"rwl", "pthread-style centralized read-write lock", false, true,
+     MakeSimple<RwLock>},
+    {"sgl", "single global lock, no elision", false, true, MakeSimple<SglLock>},
+};
+
+const SchemeDef* FindScheme(const std::string& base) {
+  for (const SchemeDef& def : kSchemes) {
+    if (base == def.name) {
+      return &def;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace
 
 std::unique_ptr<ElidableLock> MakeLock(const std::string& name, const LockOptions& options) {
-  RwLePolicy policy = PolicyFromOptions(options);
-
-  if (name == "rwle-opt") {
-    policy.variant = RwLeVariant::kOpt;
-    return Adapt<RwLeLock>(name, options, policy);
+  std::string base = name;
+  LockOptions effective = options;
+  const std::size_t plus = name.find('+');
+  const bool has_suffix = plus != std::string::npos;
+  if (has_suffix) {
+    base = name.substr(0, plus);
+    const std::string suffix = name.substr(plus + 1);
+    bool known = false;
+    for (const FallbackScheme scheme :
+         {FallbackScheme::kCentralized, FallbackScheme::kBravo}) {
+      if (suffix == FallbackSchemeName(scheme)) {
+        effective.fallback = scheme;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return nullptr;
+    }
   }
-  if (name == "rwle-pes") {
-    policy.variant = RwLeVariant::kPes;
-    return Adapt<RwLeLock>(name, options, policy);
+  const SchemeDef* def = FindScheme(base);
+  if (def == nullptr) {
+    return nullptr;
   }
-  if (name == "rwle-fair") {
-    policy.variant = RwLeVariant::kFair;
-    policy.use_rot = false;  // the Figure 7 configuration
-    return Adapt<RwLeLock>(name, options, policy);
+  if (has_suffix && !def->rwle_base) {
+    return nullptr;  // e.g. "hle+bravo": only RW-LE bases take a fallback
   }
-  if (name == "rwle-split") {
-    policy.variant = RwLeVariant::kOpt;
-    policy.split_rot_ns_locks = true;
-    return Adapt<RwLeLock>(name, options, policy);
-  }
-  if (name == "rwle-adaptive") {
-    policy.variant = RwLeVariant::kOpt;
-    policy.adaptive = true;
-    return Adapt<RwLeLock>(name, options, policy);
-  }
-  if (name == "rwle-norot") {
-    policy.variant = RwLeVariant::kOpt;
-    policy.use_rot = false;
-    return Adapt<RwLeLock>(name, options, policy);
-  }
-  if (name == "hle") {
-    return Adapt<HleLock>(name, options, options.max_htm_retries, options.trace_sink);
-  }
-  if (name == "brlock") {
-    return Adapt<BrLock>(name, options);
-  }
-  if (name == "rwl") {
-    return Adapt<RwLock>(name, options);
-  }
-  if (name == "sgl") {
-    return Adapt<SglLock>(name, options);
-  }
-  return nullptr;
-}
-
-std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
-                                       std::uint32_t max_rot_retries) {
-  LockOptions options;
-  options.max_htm_retries = max_htm_retries;
-  options.max_rot_retries = max_rot_retries;
-  return MakeLock(name, options);
+  return def->make(name, effective);
 }
 
 const std::vector<std::string>& AllLockNames() {
-  static const std::vector<std::string> names = {
-      "rwle-opt", "rwle-pes", "hle", "brlock", "rwl", "sgl",
-  };
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> sweep;
+    for (const SchemeDef& def : kSchemes) {
+      if (def.default_sweep) {
+        sweep.push_back(def.name);
+      }
+    }
+    return sweep;
+  }();
   return names;
 }
 
 const std::vector<SchemeInfo>& AllSchemes() {
-  static const std::vector<SchemeInfo> schemes = {
-      {"rwle-opt", "RW-LE, OPT variant (Algorithm 2, eager readers)"},
-      {"rwle-pes", "RW-LE, PES variant (pessimistic writer ROTs)"},
-      {"rwle-fair", "RW-LE FAIR variant with the ROT fallback off (Figure 7)"},
-      {"rwle-norot", "RW-LE with the ROT fallback disabled (Figure 7 baseline)"},
-      {"rwle-split", "RW-LE with split ROT/NS locks (§3.3 optimization)"},
-      {"rwle-adaptive", "RW-LE with the adaptive retry-budget tuner"},
-      {"hle", "classic HTM lock elision (every section speculates)"},
-      {"brlock", "big-reader lock (per-thread reader mutexes)"},
-      {"rwl", "pthread-style centralized read-write lock"},
-      {"sgl", "single global lock, no elision"},
-  };
+  static const std::vector<SchemeInfo> schemes = [] {
+    std::vector<SchemeInfo> all;
+    for (const SchemeDef& def : kSchemes) {
+      all.push_back({def.name, def.description});
+    }
+    const char* suffix = FallbackSchemeName(FallbackScheme::kBravo);
+    for (const SchemeDef& def : kSchemes) {
+      if (def.rwle_base) {
+        all.push_back({std::string(def.name) + "+" + suffix,
+                       std::string(def.description) +
+                           ", BRAVO distributed-reader fallback"});
+      }
+    }
+    return all;
+  }();
   return schemes;
 }
 

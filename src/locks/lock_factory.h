@@ -24,34 +24,43 @@ struct LockOptions {
   // RW-LE §3.3: single-traversal quiescence on the NS path. Off = the
   // unoptimized two-pass barrier (the ablation bench's configuration).
   bool single_scan_ns_sync = true;
+  // Fallback scheme for readers blocked by a non-speculative writer (RW-LE
+  // bases only; other schemes ignore it). A "+<fallback>" suffix in the
+  // scheme name overrides this knob.
+  FallbackScheme fallback = FallbackScheme::kCentralized;
   // Destination for the lock's trace events (path transitions, reader
   // stalls, per-op latencies). Null = tracing off; not owned, must outlive
   // the lock.
   TraceSink* trace_sink = nullptr;
 };
 
-// Known names: "rwle-opt", "rwle-pes", "rwle-fair", "rwle-norot" (RW-LE with
-// the ROT fallback disabled, Figure 7), "rwle-split" (split ROT/NS locks,
-// §3.3), "rwle-adaptive", "hle", "brlock", "rwl", "sgl"; the authoritative
-// list is AllSchemes(). Returns nullptr for unknown names.
+// Scheme-name grammar: "<base>[+<fallback>]".
+//   - Bases: "rwle" (alias for "rwle-opt"), "rwle-opt", "rwle-pes",
+//     "rwle-fair", "rwle-norot" (ROT fallback disabled, Figure 7),
+//     "rwle-split" (split ROT/NS locks, §3.3), "rwle-adaptive", "hle",
+//     "brlock", "rwl", "sgl", "bravo" (standalone BRAVO-biased rw-lock).
+//   - Fallback suffix, valid on RW-LE bases only: "+bravo" parks blocked
+//     readers in a distributed visible-reader table, "+centralized" (the
+//     default) spins them on the lock word. "rwle+bravo" is the paper
+//     comparison's composed scheme; "hle+bravo" is rejected.
+// The authoritative list is AllSchemes(). Returns nullptr for unknown
+// names and invalid compositions.
 std::unique_ptr<ElidableLock> MakeLock(const std::string& name,
                                        const LockOptions& options = LockOptions{});
-
-// Positional-argument form kept for source compatibility.
-[[deprecated("use MakeLock(name, LockOptions{...})")]]
-std::unique_ptr<ElidableLock> MakeLock(const std::string& name, std::uint32_t max_htm_retries,
-                                       std::uint32_t max_rot_retries);
 
 // All scheme names, in the order the paper's plots list them. This is the
 // *default sweep set* (the six schemes the figures compare); MakeLock
 // accepts the larger set below.
 const std::vector<std::string>& AllLockNames();
 
-// Every name MakeLock accepts, with a one-line description; backs the
-// driver's --list-schemes.
+// Every scheme MakeLock accepts, with a one-line description; backs the
+// driver's --list-schemes. Derived from the factory's one registration
+// table: base entries first, then the composed "<base>+bravo" forms. The
+// "+centralized" suffix is also accepted everywhere a "+bravo" is, but is
+// identical to the bare base and therefore not listed separately.
 struct SchemeInfo {
-  const char* name;
-  const char* description;
+  std::string name;
+  std::string description;
 };
 const std::vector<SchemeInfo>& AllSchemes();
 

@@ -1,0 +1,122 @@
+// Distributed visible-reader table (BRAVO, Dice & Kogan): a fixed array of
+// entry words that readers claim by slot-hash so they become visible to
+// writers without touching a centralized reader counter. Two protocols run
+// over it:
+//   - src/locks/bravo_lock.h (standalone "bravo" scheme): a fast reader
+//     publishes kActive, rechecks the bias, reads, withdraws; a revoking
+//     writer drains every occupied entry.
+//   - src/rwle/rwle_lock.cc (the "+bravo" fallback): a reader that collides
+//     with a non-speculative writer parks as kParked; the writer's release
+//     grants parked entries (kGranted) through their private words, and the
+//     admitted reader runs as kActive until exit.
+// The table itself is policy-free: encode/decode helpers plus the raw entry
+// words. Each lock drives its own transitions (and owns the memory-order
+// arguments at the call sites), including its indexing discipline: the
+// standalone lock slot-hashes (IndexFor) because BRAVO's biased readers are
+// anonymous and aliasing is tolerated; the RW-LE fallback indexes by the
+// registry slot directly (dense, unique, alias-free) so writer scans can
+// stop at the registry high watermark instead of walking all kSlots.
+//
+// Layout: entries are deliberately *packed*, not cache-line padded -- the
+// same call BRAVO makes. A padded table would cost 128 KiB and turn the
+// writer's revocation scan into kSlots line transfers; packed, the scan
+// touches kSlots / kEntriesPerLine lines and a reader's publish contends
+// only with the ~15 hash neighbors sharing its line, not with every thread
+// in the system (that is still the centralized-counter failure mode this
+// table exists to avoid).
+#ifndef RWLE_SRC_RWLE_BRAVO_READER_TABLE_H_
+#define RWLE_SRC_RWLE_BRAVO_READER_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/common/thread_registry.h"
+#include "src/stats/cost_meter.h"
+
+namespace rwle {
+
+class BravoReaderTable {
+ public:
+  // One entry per registry slot keeps the load factor at or below 1 even
+  // when every slot is live; the hash below still aliases (deliberately --
+  // collided readers degrade to the slow path, see bravo_lock_test).
+  static constexpr std::uint32_t kSlots = kMaxThreads;
+  static constexpr std::uint32_t kIndexBits = 10;
+  static_assert(kSlots == (1u << kIndexBits),
+                "IndexFor() takes the top kIndexBits of the mixed slot");
+  static constexpr std::uint32_t kEntriesPerLine =
+      kCacheLineBytes / sizeof(std::atomic<std::uint64_t>);
+
+  // Entry encoding: kEmpty, or (owner_slot + 1) << kStateBits | state.
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kParked = 1;   // waiting for an NS writer
+  static constexpr std::uint64_t kGranted = 2;  // woken, not yet re-entered
+  static constexpr std::uint64_t kActive = 3;   // inside a read section
+  static constexpr std::uint32_t kStateBits = 2;
+  static constexpr std::uint64_t kStateMask = (1u << kStateBits) - 1;
+
+  BravoReaderTable() = default;
+  BravoReaderTable(const BravoReaderTable&) = delete;
+  BravoReaderTable& operator=(const BravoReaderTable&) = delete;
+
+  // Fibonacci multiplicative hash of the registry slot. Non-injective even
+  // for slot < kSlots: aliasing is part of the protocol, not a bug.
+  static constexpr std::uint32_t IndexFor(std::uint32_t slot) {
+    return static_cast<std::uint32_t>(
+        (slot * std::uint64_t{0x9E3779B97F4A7C15}) >> (64 - kIndexBits));
+  }
+
+  static constexpr std::uint64_t Encode(std::uint32_t slot, std::uint64_t state) {
+    return (static_cast<std::uint64_t>(slot + 1) << kStateBits) | state;
+  }
+  static constexpr std::uint32_t EntryOwner(std::uint64_t word) {
+    return static_cast<std::uint32_t>(word >> kStateBits) - 1;
+  }
+  static constexpr std::uint64_t EntryState(std::uint64_t word) {
+    return word & kStateMask;
+  }
+
+  std::atomic<std::uint64_t>& Word(std::uint32_t index) { return entries_[index]; }
+  const std::atomic<std::uint64_t>& Word(std::uint32_t index) const {
+    return entries_[index];
+  }
+
+  // Claims an empty entry for `slot` in `state`. Seq_cst CAS: publish must
+  // be globally ordered against the writer's bias-clear / revocation scan
+  // (the BRAVO publish-then-recheck vs clear-then-scan argument).
+  bool TryClaim(std::uint32_t index, std::uint32_t slot, std::uint64_t state) {
+    std::uint64_t expected = kEmpty;
+    const bool claimed =
+        entries_[index].compare_exchange_strong(expected, Encode(slot, state));
+    // Private-ish line (shared with hash neighbors only): constant cost, the
+    // whole point of the distributed table.
+    CostMeter::Global().Charge(CostModel::kLockOp);
+    return claimed;
+  }
+
+  // Empties the calling reader's entry at read-section exit.
+  void Withdraw(std::uint32_t index) {
+    CostMeter::Global().Charge(CostModel::kLockOp);
+    // Release: orders the reader's section accesses before a revoking
+    // writer's acquire load that observes the entry empty.
+    entries_[index].store(kEmpty, std::memory_order_release);
+  }
+
+  // Modeled cost of one full-table scan: the packed layout makes it a
+  // sequential sweep of kSlots / kEntriesPerLine cache lines.
+  static constexpr std::uint64_t ScanCharge() { return ScanCharge(kSlots); }
+
+  // Scan cost over only the first `entries` words (identity-indexed users
+  // bound their sweeps by the registry high watermark).
+  static constexpr std::uint64_t ScanCharge(std::uint32_t entries) {
+    return ((entries + kEntriesPerLine - 1) / kEntriesPerLine) * CostModel::kAccess;
+  }
+
+ private:
+  std::atomic<std::uint64_t> entries_[kSlots] = {};
+};
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_RWLE_BRAVO_READER_TABLE_H_

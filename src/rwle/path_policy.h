@@ -23,6 +23,26 @@ enum class RwLeVariant : std::uint8_t {
 
 enum class WritePath : std::uint8_t { kHtm = 0, kRot = 1, kNs = 2 };
 
+// Which fallback-lock scheme backs the non-speculative path. RW-LE readers
+// are uninstrumented either way (epoch clocks); the fallback governs how a
+// reader that collides with an NS writer waits and becomes visible again:
+//   kCentralized: all blocked readers spin on the one NS lock word and
+//     stampede it on release -- the reader-scalability cliff BRAVO targets.
+//   kBravo: blocked readers park in a distributed visible-reader table
+//     (one slot-hashed entry each) and the NS writer wakes them through
+//     their private entries, BRAVO-style (Dice & Kogan).
+enum class FallbackScheme : std::uint8_t { kCentralized = 0, kBravo = 1 };
+
+constexpr const char* FallbackSchemeName(FallbackScheme scheme) {
+  switch (scheme) {
+    case FallbackScheme::kCentralized:
+      return "centralized";
+    case FallbackScheme::kBravo:
+      return "bravo";
+  }
+  return "?";
+}
+
 constexpr const char* WritePathName(WritePath path) {
   switch (path) {
     case WritePath::kHtm:
@@ -54,6 +74,10 @@ struct RwLePolicy {
   // only lazily in its commit phase, which lets hardware transactions run
   // concurrently with a ROT writer (profitable when conflicts are rare).
   bool split_rot_ns_locks = false;
+  // Which fallback-lock scheme serves the non-speculative path (see
+  // FallbackScheme above). Selected per lock instance via
+  // LockOptions::fallback or the "+bravo" scheme-name suffix.
+  FallbackScheme fallback = FallbackScheme::kCentralized;
   // Trace destination for this lock's own events (path transitions, reader
   // stalls). Null = tracing off; not owned. Transaction-level events are
   // emitted by the HTM runtime via its own sink pointer.

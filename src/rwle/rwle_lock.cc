@@ -1,5 +1,7 @@
 #include "src/rwle/rwle_lock.h"
 
+#include "src/htm/fabric_observer.h"
+
 namespace rwle {
 
 RwLeLock::RwLeLock(const RwLePolicy& policy) : policy_(policy) {}
@@ -14,11 +16,171 @@ void RwLeLock::ReadEnter(std::uint32_t slot) {
     if (wlock_.State() != LockState::kNsLocked) {
       return;
     }
-    // A non-speculative writer is in (or slipped in): defer to it.
+    // A non-speculative writer is in (or slipped in): defer to it through
+    // the configured fallback scheme.
     clocks_.Exit(slot);
     EmitTraceEvent(policy_.trace_sink, TraceEventType::kReaderBlockBegin);
-    wlock_.WaitWhileState(LockState::kNsLocked);
+    if (policy_.fallback == FallbackScheme::kBravo) {
+      BravoReaderWait(slot);
+    } else {
+      wlock_.WaitWhileState(LockState::kNsLocked);
+      // Wake-up stampede: the writer's release invalidates the lock-word
+      // line in every blocked reader's cache at once, and the line's
+      // request queue serves the re-fetches serially, so each waiter pays a
+      // queue-depth-proportional (thread-count) cost. This is the
+      // centralized-fallback failure mode the BRAVO fallback's private
+      // parking entries exist to avoid.
+      CostMeter::Global().ChargeContended(CostModel::kLockOp);
+    }
     EmitTraceEvent(policy_.trace_sink, TraceEventType::kReaderBlockEnd);
+  }
+}
+
+// --- BRAVO fallback parking protocol (policy_.fallback == kBravo) ---
+//
+// Park:   the blocked reader CASes its hashed fallback_table_ entry
+//         kEmpty -> kParked, then re-checks the NS lock once. If the
+//         re-check still sees kNsLocked, the park preceded that writer's
+//         release in the seq_cst order (a load cannot return a value that
+//         was already overwritten), so the writer's post-release grant
+//         sweep is guaranteed to find the entry: the reader then spins
+//         purely on its private word, never on the centralized lock word.
+//         If the re-check sees the lock free, the sweep may already have
+//         passed the entry, so the reader self-admits.
+// Grant:  the releasing NS writer sweeps the table, CASing each kParked
+//         entry to kGranted (BravoGrantParked). A failed CAS means the
+//         owner self-admitted meanwhile; nobody is lost either way.
+// Admit:  the granted reader stores kActive and returns to the optimistic
+//         entry loop above (clock up, lock re-check). If yet another NS
+//         writer slipped in, the re-check turns it around and it
+//         downgrades kActive -> kParked to wait again.
+// Drain:  the next NS writer, after acquiring, waits for every kActive
+//         entry to empty or downgrade (BravoDrainAdmitted) -- the
+//         revocation analog, and how writer demotion "dooms" distributed
+//         readers. kParked and kGranted owners need not be awaited: they
+//         cannot complete section entry while the NS lock is held, because
+//         the entry loop's lock re-check reads the current fabric state.
+//
+// Unlike the standalone BravoLock (anonymous biased readers, slot-hashed
+// entries, aliasing tolerated), the fallback indexes the table by registry
+// slot directly: parked readers are registered threads with dense unique
+// slots, so entries never alias and the writer's drain/grant sweeps stop at
+// the registry high watermark instead of walking all kSlots.
+
+void RwLeLock::BravoReaderWait(std::uint32_t slot) {
+  std::atomic<std::uint64_t>& word = fallback_table_.Word(slot);
+  const std::uint64_t current = word.load();
+  if (BravoReaderTable::EntryState(current) == BravoReaderTable::kActive &&
+      BravoReaderTable::EntryOwner(current) == slot) {
+    // Re-parking: we were admitted, but another NS writer slipped in before
+    // our lock re-check. Downgrade so that writer's drain stops waiting on
+    // us (hook first: txsan must see the section closed no later than the
+    // drain can observe the downgrade).
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderExit(slot, &fallback_table_));
+    word.store(BravoReaderTable::Encode(slot, BravoReaderTable::kParked));
+    CostMeter::Global().Charge(CostModel::kLockOp);
+  } else if (!fallback_table_.TryClaim(slot, slot, BravoReaderTable::kParked)) {
+    // Unreachable under identity indexing (nobody else claims our slot's
+    // entry), but degrade to the centralized wait rather than corrupt the
+    // table if the invariant is ever broken.
+    stats_.RecordBravo(BravoCounter::kAliasedPark);
+    wlock_.WaitWhileState(LockState::kNsLocked);
+    CostMeter::Global().ChargeContended(CostModel::kLockOp);
+    return;
+  }
+  stats_.RecordBravo(BravoCounter::kParkedRead);
+  if (wlock_.State() != LockState::kNsLocked) {
+    // Park-then-recheck found the lock already free: the grant sweep may
+    // have passed our entry before the park published, so self-admit.
+    std::uint64_t expected =
+        BravoReaderTable::Encode(slot, BravoReaderTable::kParked);
+    if (word.compare_exchange_strong(
+            expected, BravoReaderTable::Encode(slot, BravoReaderTable::kActive))) {
+      CostMeter::Global().Charge(CostModel::kLockOp);
+      RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderEnter(slot, &fallback_table_));
+      return;
+    }
+    // CAS lost to a concurrent grant; take it in the loop below.
+  }
+  std::uint32_t spins = 0;
+  for (;;) {
+    RWLE_SCHED_POINT(kLockAcquire, &word);
+    if (BravoReaderTable::EntryState(word.load()) == BravoReaderTable::kGranted) {
+      word.store(BravoReaderTable::Encode(slot, BravoReaderTable::kActive));
+      CostMeter::Global().Charge(CostModel::kLockOp);
+      RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderEnter(slot, &fallback_table_));
+      return;
+    }
+    SpinBackoff(spins++);
+  }
+}
+
+void RwLeLock::BravoReaderExit(std::uint32_t slot) {
+  std::atomic<std::uint64_t>& word = fallback_table_.Word(slot);
+  // Relaxed: we only act on our own entry, and only this thread ever stores
+  // our slot in kActive state, so a stale read can at worst miss an entry
+  // this thread does not hold.
+  const std::uint64_t entry = word.load(std::memory_order_relaxed);
+  if (BravoReaderTable::EntryState(entry) == BravoReaderTable::kActive &&
+      BravoReaderTable::EntryOwner(entry) == slot) {
+    // Hook before the withdraw: txsan must see the section closed no later
+    // than a draining writer can observe the entry empty.
+    RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnReaderExit(slot, &fallback_table_));
+    fallback_table_.Withdraw(slot);
+  }
+}
+
+void RwLeLock::BravoDrainAdmitted(std::uint32_t slot) {
+  EmitTraceEvent(policy_.trace_sink, slot, TraceEventType::kBravoRevokeBegin);
+  RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceBegin(slot, &fallback_table_));
+  // Identity indexing: every parked/admitted reader sits at its registry
+  // slot, so the sweep stops at the high watermark.
+  const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
+  CostMeter::Global().Charge(BravoReaderTable::ScanCharge(n));
+  std::uint64_t drained = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bool counted = false;
+    std::uint32_t spins = 0;
+    for (;;) {
+      RWLE_SCHED_POINT(kLockAcquire, &fallback_table_.Word(i));
+      // Acquire: pairs with the admitted reader's releasing withdraw (or
+      // its seq_cst downgrade), so its section loads complete before this
+      // writer's section stores.
+      const std::uint64_t entry =
+          fallback_table_.Word(i).load(std::memory_order_acquire);
+      if (BravoReaderTable::EntryState(entry) != BravoReaderTable::kActive) {
+        break;  // empty, parked, or granted: not (and cannot get) in-section
+      }
+      if (!counted) {
+        counted = true;
+        ++drained;
+      }
+      SpinBackoff(spins++);
+    }
+  }
+  RWLE_TXSAN_HOOK(HtmRuntime::Global(), OnQuiescenceEnd(slot, &fallback_table_));
+  stats_.RecordBravo(BravoCounter::kRevocation);
+  stats_.RecordBravo(BravoCounter::kRevokedReader, drained);
+  EmitTraceEvent(policy_.trace_sink, slot, TraceEventType::kBravoRevokeEnd, 0, 0,
+                 drained);
+}
+
+void RwLeLock::BravoGrantParked() {
+  const std::uint32_t n = ThreadRegistry::Global().HighWatermark();
+  CostMeter::Global().Charge(BravoReaderTable::ScanCharge(n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::atomic<std::uint64_t>& word = fallback_table_.Word(i);
+    RWLE_SCHED_POINT(kLockRelease, &word);
+    std::uint64_t entry = word.load();
+    if (BravoReaderTable::EntryState(entry) != BravoReaderTable::kParked) {
+      continue;
+    }
+    // Wake through the owner's private word; the parked reader never
+    // re-fetches the centralized lock word. A failed CAS means the owner
+    // self-admitted between our load and the exchange.
+    word.compare_exchange_strong(
+        entry, BravoReaderTable::Encode(BravoReaderTable::EntryOwner(entry),
+                                        BravoReaderTable::kGranted));
   }
 }
 

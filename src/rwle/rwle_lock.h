@@ -31,6 +31,7 @@
 #include "src/htm/htm_runtime.h"
 #include "src/htm/preemption.h"
 #include "src/rwle/adaptive_tuner.h"
+#include "src/rwle/bravo_reader_table.h"
 #include "src/rwle/epoch_clocks.h"
 #include "src/rwle/lock_word.h"
 #include "src/rwle/path_policy.h"
@@ -85,10 +86,12 @@ class RwLeLock {
     } catch (...) {
       nesting.read_depth = 0;
       clocks_.Exit(slot);
+      ReadExitFallback(slot);
       throw;
     }
     nesting.read_depth = 0;
     clocks_.Exit(slot);
+    ReadExitFallback(slot);
     stats_.RecordCommit(CommitPath::kUninstrumentedRead);
   }
 
@@ -175,14 +178,21 @@ class RwLeLock {
         case WritePath::kNs: {
           const std::uint64_t held = AcquireNsPath();
           SerialSectionScope ns_scope(SerialScope::kGlobal);
+          // Reader visibility is queried through the fallback abstraction:
+          // a BRAVO fallback first drains the distributed table (readers it
+          // admitted through private entries), then the epoch scan below
+          // dooms/waits out the uninstrumented readers as always.
+          if (policy_.fallback == FallbackScheme::kBravo) {
+            BravoDrainAdmitted(slot);
+          }
           SynchronizeNs(held);
           try {
             fn();
           } catch (...) {
-            wlock_.Release(held);
+            ReleaseNsPath(held);
             throw;  // NS sections cannot abort; this is a user exception
           }
-          wlock_.Release(held);
+          ReleaseNsPath(held);
           stats_.RecordCommit(CommitPath::kSerial);
           ReportAdaptive(CommitPath::kSerial, htm_aborts, rot_aborts);
           return;
@@ -231,6 +241,36 @@ class RwLeLock {
   void ReadEnter(std::uint32_t slot);
   void ReadEnterFair(std::uint32_t slot);
 
+  // BRAVO fallback (policy_.fallback == kBravo): a reader that collides
+  // with the NS lock parks in its private fallback_table_ entry instead of
+  // spinning on (and later stampeding) the centralized lock word. The NS
+  // writer grants parked entries after release and drains admitted readers
+  // on acquire. See rwle_lock.cc for the parking protocol.
+  void BravoReaderWait(std::uint32_t slot);
+  void BravoReaderExit(std::uint32_t slot);
+  void BravoDrainAdmitted(std::uint32_t slot);
+  void BravoGrantParked();
+
+  // Read-section exit through the fallback abstraction: withdraws the
+  // thread's visible-reader entry, if it holds one. No-op for the
+  // centralized fallback (readers there are visible via epoch clocks only).
+  void ReadExitFallback(std::uint32_t slot) {
+    if (policy_.fallback == FallbackScheme::kBravo) {
+      BravoReaderExit(slot);
+    }
+  }
+
+  // NS-path release through the fallback abstraction: drops the lock, then
+  // (BRAVO) sweeps the table to wake parked readers through their private
+  // entries -- the centralized fallback instead wakes them by the released
+  // lock word itself, at stampede cost (see ReadEnter).
+  void ReleaseNsPath(std::uint64_t held_word) {
+    wlock_.Release(held_word);
+    if (policy_.fallback == FallbackScheme::kBravo) {
+      BravoGrantParked();
+    }
+  }
+
   // ROT-path lock management: the single global lock in the base design,
   // or the dedicated ROT lock in split-lock mode (§3.3). Returns the held
   // word to pass to ReleaseRotPath.
@@ -276,6 +316,9 @@ class RwLeLock {
   // Split-lock mode only: serializes ROT writers, leaving wlock_ to the NS
   // path. Hardware transactions subscribe to it lazily at commit.
   LockWord rot_lock_;
+  // BRAVO fallback only: distributed parking table for readers blocked by
+  // an NS writer. Untouched (8 KiB of cold zeros) under kCentralized.
+  BravoReaderTable fallback_table_;
   EpochClocks clocks_;
   StatsRegistry stats_;
   AdaptiveTuner tuner_;

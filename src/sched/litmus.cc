@@ -4,6 +4,7 @@
 
 #include "src/htm/abort.h"
 #include "src/htm/htm_runtime.h"
+#include "src/locks/bravo_lock.h"
 #include "src/memory/tx_var.h"
 #include "src/rwle/path_policy.h"
 #include "src/rwle/rwle_lock.h"
@@ -174,6 +175,106 @@ class RotConflict final : public LitmusRun {
   bool torn_ = false;
 };
 
+// The BRAVO revocation race: a writer clears the bias and scans the reader
+// table while readers publish their slots (publish-then-recheck vs
+// clear-then-scan). A schedule where the writer's scan misses a published
+// reader would let the write section overlap a fast read -- the reader
+// would see the two cells out of lockstep (and txsan would flag the
+// overlapping sections). Bias starts armed so the first write revokes.
+class BravoRevoke final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 3;
+  static constexpr std::uint64_t kWritesPerWriter = 2;
+
+  void Thread(std::uint32_t tid) override {
+    if (tid == 0) {
+      for (std::uint64_t i = 0; i < kWritesPerWriter; ++i) {
+        lock_.Write([this] {
+          x_.Store(x_.Load() + 1);
+          y_.Store(y_.Load() + 1);
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 2 * kWritesPerWriter; ++i) {
+        lock_.Read([this, tid] {
+          if (x_.Load() != y_.Load()) {
+            torn_[tid] = true;
+          }
+        });
+      }
+    }
+  }
+
+  bool Verify() override {
+    return !torn_[1] && !torn_[2] && x_.Load() == kWritesPerWriter &&
+           y_.Load() == kWritesPerWriter;
+  }
+
+ private:
+  static BravoLock::Options Options() {
+    BravoLock::Options options;
+    // Re-arm immediately: every write in the schedule revokes, maximizing
+    // revocation/publish interleavings within the schedule budget.
+    options.inhibit_multiplier = 0;
+    return options;
+  }
+
+  BravoLock lock_{Options()};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  bool torn_[kThreads] = {};  // each entry written only by its own reader
+};
+
+// The RW-LE BRAVO fallback parking protocol: retries are zeroed so every
+// write takes the non-speculative path, and readers that collide with it
+// park in the distributed table (park / grant / admit / drain, see
+// rwle_lock.cc). A schedule where the writer's drain misses an admitted
+// reader, or a parked reader is never granted (lost wakeup), fails Verify
+// by tearing or by hanging the schedule.
+class BravoFallback final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 3;
+  static constexpr std::uint64_t kWritesPerWriter = 2;
+
+  void Thread(std::uint32_t tid) override {
+    if (tid == 0) {
+      for (std::uint64_t i = 0; i < kWritesPerWriter; ++i) {
+        lock_.Write([this] {
+          x_.Store(x_.Load() + 1);
+          y_.Store(y_.Load() + 1);
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 2 * kWritesPerWriter; ++i) {
+        lock_.Read([this, tid] {
+          if (x_.Load() != y_.Load()) {
+            torn_[tid] = true;
+          }
+        });
+      }
+    }
+  }
+
+  bool Verify() override {
+    return !torn_[1] && !torn_[2] && x_.Load() == kWritesPerWriter &&
+           y_.Load() == kWritesPerWriter;
+  }
+
+ private:
+  static RwLePolicy Policy() {
+    RwLePolicy policy;
+    policy.max_htm_retries = 0;  // demote past HTM...
+    policy.max_rot_retries = 0;  // ...and past ROT: every write runs NS
+    policy.fallback = FallbackScheme::kBravo;
+    return policy;
+  }
+
+  RwLeLock lock_{Policy()};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  bool torn_[kThreads] = {};
+};
+
 }  // namespace
 
 const std::vector<LitmusSpec>& AllLitmus() {
@@ -190,6 +291,13 @@ const std::vector<LitmusSpec>& AllLitmus() {
       {"rot-conflict",
        "same invariant with max_htm_retries=0, forcing the ROT write path",
        RotConflict::kThreads, /*intentionally_buggy=*/false, &ArenaMake<RotConflict>},
+      {"bravo-revoke",
+       "BravoLock writer revokes the bias while readers publish table slots",
+       BravoRevoke::kThreads, /*intentionally_buggy=*/false, &ArenaMake<BravoRevoke>},
+      {"bravo-fallback",
+       "RW-LE writes forced non-speculative; readers park in the BRAVO fallback",
+       BravoFallback::kThreads, /*intentionally_buggy=*/false,
+       &ArenaMake<BravoFallback>},
   };
   return specs;
 }

@@ -129,6 +129,60 @@ constexpr AbortCategory ClassifyAbort(TxKind kind, AbortCause cause) {
   }
 }
 
+// BRAVO bias / revocation events (src/locks/bravo_lock.h and the BRAVO
+// fallback inside RwLeLock). Counted separately from commits/aborts: one
+// read section can tick several of these (publish, collide, retry slow).
+enum class BravoCounter : std::uint8_t {
+  kFastRead = 0,       // read admitted through the distributed table
+  kSlowRead = 1,       // read fell through to the centralized underlay
+  kParkedRead = 2,     // RW-LE fallback: read parked awaiting an NS writer
+  kAliasedPark = 3,    // slot-hash collision degraded the read to centralized
+  kBiasArm = 4,        // bias switched on (off -> on transitions)
+  kRevocation = 5,     // writer revoked the bias
+  kRevokedReader = 6,  // occupied table entries drained during revocations
+};
+inline constexpr int kBravoCounterCount = 7;
+
+constexpr const char* BravoCounterName(BravoCounter counter) {
+  switch (counter) {
+    case BravoCounter::kFastRead:
+      return "BRAVO fast";
+    case BravoCounter::kSlowRead:
+      return "BRAVO slow";
+    case BravoCounter::kParkedRead:
+      return "BRAVO parked";
+    case BravoCounter::kAliasedPark:
+      return "BRAVO aliased";
+    case BravoCounter::kBiasArm:
+      return "BRAVO bias arms";
+    case BravoCounter::kRevocation:
+      return "BRAVO revocations";
+    case BravoCounter::kRevokedReader:
+      return "BRAVO revoked readers";
+  }
+  return "?";
+}
+
+constexpr const char* BravoCounterKey(BravoCounter counter) {
+  switch (counter) {
+    case BravoCounter::kFastRead:
+      return "fast_reads";
+    case BravoCounter::kSlowRead:
+      return "slow_reads";
+    case BravoCounter::kParkedRead:
+      return "parked_reads";
+    case BravoCounter::kAliasedPark:
+      return "aliased_parks";
+    case BravoCounter::kBiasArm:
+      return "bias_arms";
+    case BravoCounter::kRevocation:
+      return "revocations";
+    case BravoCounter::kRevokedReader:
+      return "revoked_readers";
+  }
+  return "unknown";
+}
+
 // One named counter of a breakdown, in legend order: the human label used
 // by the table renderer, the stable key used by the JSON serializer, and
 // the count itself.
@@ -196,9 +250,47 @@ struct AbortBreakdown {
   }
 };
 
+// Snapshot of the BRAVO counters; same contract as CommitBreakdown. All
+// zero for schemes without a BRAVO component (the serializer omits the
+// block then).
+struct BravoBreakdown {
+  std::uint64_t fast_reads = 0;
+  std::uint64_t slow_reads = 0;
+  std::uint64_t parked_reads = 0;
+  std::uint64_t aliased_parks = 0;
+  std::uint64_t bias_arms = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t revoked_readers = 0;
+
+  std::uint64_t Total() const {
+    return fast_reads + slow_reads + parked_reads + aliased_parks + bias_arms +
+           revocations + revoked_readers;
+  }
+
+  std::array<CounterView, kBravoCounterCount> Entries() const {
+    return {{
+        {BravoCounterName(BravoCounter::kFastRead),
+         BravoCounterKey(BravoCounter::kFastRead), fast_reads},
+        {BravoCounterName(BravoCounter::kSlowRead),
+         BravoCounterKey(BravoCounter::kSlowRead), slow_reads},
+        {BravoCounterName(BravoCounter::kParkedRead),
+         BravoCounterKey(BravoCounter::kParkedRead), parked_reads},
+        {BravoCounterName(BravoCounter::kAliasedPark),
+         BravoCounterKey(BravoCounter::kAliasedPark), aliased_parks},
+        {BravoCounterName(BravoCounter::kBiasArm),
+         BravoCounterKey(BravoCounter::kBiasArm), bias_arms},
+        {BravoCounterName(BravoCounter::kRevocation),
+         BravoCounterKey(BravoCounter::kRevocation), revocations},
+        {BravoCounterName(BravoCounter::kRevokedReader),
+         BravoCounterKey(BravoCounter::kRevokedReader), revoked_readers},
+    }};
+  }
+};
+
 struct StatsSnapshot {
   CommitBreakdown commits;
   AbortBreakdown aborts;
+  BravoBreakdown bravo;
 
   std::uint64_t TotalAttempts() const { return commits.Total() + aborts.Total(); }
 };
@@ -231,6 +323,7 @@ struct ServiceSnapshot {
 struct ThreadStats {
   std::uint64_t commits[kCommitPathCount] = {};
   std::uint64_t aborts[kAbortCategoryCount] = {};
+  std::uint64_t bravo[kBravoCounterCount] = {};
 
   std::uint64_t TotalCommits() const {
     std::uint64_t total = 0;
@@ -266,6 +359,15 @@ struct ThreadStats {
         aborts[static_cast<int>(AbortCategory::kRotConflict)];
     snapshot.aborts.rot_capacity =
         aborts[static_cast<int>(AbortCategory::kRotCapacity)];
+    snapshot.bravo.fast_reads = bravo[static_cast<int>(BravoCounter::kFastRead)];
+    snapshot.bravo.slow_reads = bravo[static_cast<int>(BravoCounter::kSlowRead)];
+    snapshot.bravo.parked_reads = bravo[static_cast<int>(BravoCounter::kParkedRead)];
+    snapshot.bravo.aliased_parks =
+        bravo[static_cast<int>(BravoCounter::kAliasedPark)];
+    snapshot.bravo.bias_arms = bravo[static_cast<int>(BravoCounter::kBiasArm)];
+    snapshot.bravo.revocations = bravo[static_cast<int>(BravoCounter::kRevocation)];
+    snapshot.bravo.revoked_readers =
+        bravo[static_cast<int>(BravoCounter::kRevokedReader)];
     return snapshot;
   }
 
@@ -275,6 +377,9 @@ struct ThreadStats {
     }
     for (int i = 0; i < kAbortCategoryCount; ++i) {
       aborts[i] += other.aborts[i];
+    }
+    for (int i = 0; i < kBravoCounterCount; ++i) {
+      bravo[i] += other.bravo[i];
     }
     return *this;
   }
@@ -297,6 +402,10 @@ class StatsRegistry {
 
   void RecordAbort(TxKind kind, AbortCause cause) {
     Local().aborts[static_cast<int>(ClassifyAbort(kind, cause))]++;
+  }
+
+  void RecordBravo(BravoCounter counter, std::uint64_t n = 1) {
+    Local().bravo[static_cast<int>(counter)] += n;
   }
 
   ThreadStats Aggregate() const {

@@ -51,8 +51,14 @@ enum class TraceEventType : std::uint8_t {
   // One completed lock operation, emitted by LockAdapter at its end.
   // detail_a = OpKind, detail_b = CommitPath, arg = latency in cycles.
   kOpEnd = 10,
+  // BRAVO fallback (src/locks/bravo_lock.h): a reader re-armed the bias.
+  kBravoBiasArm = 11,
+  // BRAVO revocation: a writer cleared the bias and drained the visible
+  // reader table. arg on kBravoRevokeEnd = occupied entries drained.
+  kBravoRevokeBegin = 12,
+  kBravoRevokeEnd = 13,
 };
-inline constexpr int kTraceEventTypeCount = 11;
+inline constexpr int kTraceEventTypeCount = 14;
 
 constexpr const char* TraceEventTypeName(TraceEventType type) {
   switch (type) {
@@ -78,6 +84,12 @@ constexpr const char* TraceEventTypeName(TraceEventType type) {
       return "path-transition";
     case TraceEventType::kOpEnd:
       return "op-end";
+    case TraceEventType::kBravoBiasArm:
+      return "bravo-bias-arm";
+    case TraceEventType::kBravoRevokeBegin:
+      return "bravo-revoke-begin";
+    case TraceEventType::kBravoRevokeEnd:
+      return "bravo-revoke-end";
   }
   return "?";
 }

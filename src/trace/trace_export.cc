@@ -60,6 +60,8 @@ struct OpenSpans {
   std::uint8_t quiesce_single_scan = 0;
   bool reader_open = false;
   std::uint64_t reader_start = 0;
+  bool revoke_open = false;
+  std::uint64_t revoke_start = 0;
 };
 
 class LaneExporter {
@@ -158,6 +160,22 @@ class LaneExporter {
         });
         break;
       }
+      case TraceEventType::kBravoBiasArm:
+        Instant("bravo-bias-arm", pid, event.timestamp, [] {});
+        break;
+      case TraceEventType::kBravoRevokeBegin:
+        open_.revoke_open = true;
+        open_.revoke_start = event.timestamp;
+        break;
+      case TraceEventType::kBravoRevokeEnd:
+        if (open_.revoke_open) {
+          Complete("bravo-revoke", pid, open_.revoke_start, event.timestamp,
+                   [&] { json_.Field("revoked_readers", event.arg); });
+          open_.revoke_open = false;
+        } else {
+          ++unpaired_;
+        }
+        break;
     }
   }
 

@@ -444,6 +444,49 @@ TEST(ResultSerializerTest, RunResultRoundTrips) {
   EXPECT_EQ(second.At("threads").AsUint(), 4u);
 }
 
+// BRAVO blocks: omitted entirely for runs that recorded no BRAVO events
+// (so non-BRAVO schemes keep an unchanged document), and round-tripping
+// every counter when present.
+TEST(ResultSerializerTest, BravoBlockIsOmittedWhenEmpty) {
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 10.0, TestResult(2));  // TestResult records no bravo
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  EXPECT_FALSE(first.Has("bravo"));
+}
+
+TEST(ResultSerializerTest, BravoBlockRoundTrips) {
+  RunResult result = TestResult(2);
+  result.stats.bravo[static_cast<int>(BravoCounter::kFastRead)] = 1800;
+  result.stats.bravo[static_cast<int>(BravoCounter::kSlowRead)] = 150;
+  result.stats.bravo[static_cast<int>(BravoCounter::kParkedRead)] = 40;
+  result.stats.bravo[static_cast<int>(BravoCounter::kAliasedPark)] = 3;
+  result.stats.bravo[static_cast<int>(BravoCounter::kBiasArm)] = 6;
+  result.stats.bravo[static_cast<int>(BravoCounter::kRevocation)] = 7;
+  result.stats.bravo[static_cast<int>(BravoCounter::kRevokedReader)] = 21;
+
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle+bravo", 10.0, result);
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  ASSERT_TRUE(first.Has("bravo"));
+  const JsonValue& bravo = first.At("bravo");
+  EXPECT_EQ(bravo.At("fast_reads").AsUint(), 1800u);
+  EXPECT_EQ(bravo.At("slow_reads").AsUint(), 150u);
+  EXPECT_EQ(bravo.At("parked_reads").AsUint(), 40u);
+  EXPECT_EQ(bravo.At("aliased_parks").AsUint(), 3u);
+  EXPECT_EQ(bravo.At("bias_arms").AsUint(), 6u);
+  EXPECT_EQ(bravo.At("revocations").AsUint(), 7u);
+  EXPECT_EQ(bravo.At("revoked_readers").AsUint(), 21u);
+}
+
 // Latency blocks: omitted entirely for runs that recorded none (so legacy
 // consumers see an unchanged document), and round-tripping count/mean and
 // the percentile ladder per op and per commit path when present.

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/common/thread_registry.h"
+#include "src/locks/bravo_lock.h"
 #include "src/locks/elidable_lock.h"
 #include "src/rwle/rwle_lock.h"
 #include "src/trace/trace_sink.h"
@@ -23,9 +24,8 @@ namespace {
 TEST(LockFactoryTest, DefaultSweepIsSubsetOfAllSchemes) {
   std::set<std::string> known;
   for (const SchemeInfo& scheme : AllSchemes()) {
-    EXPECT_NE(scheme.name, nullptr);
-    EXPECT_NE(scheme.description, nullptr);
-    EXPECT_STRNE(scheme.description, "");
+    EXPECT_FALSE(scheme.name.empty());
+    EXPECT_FALSE(scheme.description.empty());
     EXPECT_TRUE(known.insert(scheme.name).second)
         << "duplicate scheme: " << scheme.name;
   }
@@ -47,6 +47,69 @@ TEST(LockFactoryTest, UnknownNamesReturnNull) {
   EXPECT_EQ(MakeLock("bogus"), nullptr);
   EXPECT_EQ(MakeLock(""), nullptr);
   EXPECT_EQ(MakeLock("RWLE-OPT"), nullptr);  // names are case-sensitive
+}
+
+// The scheme grammar "<base>[+<fallback>]": the suffix selects the
+// blocked-reader fallback on RW-LE bases and is rejected anywhere else.
+TEST(LockFactoryTest, FallbackSuffixConfiguresRwLeBases) {
+  const struct {
+    const char* name;
+    RwLeVariant variant;
+    FallbackScheme fallback;
+  } cases[] = {
+      {"rwle", RwLeVariant::kOpt, FallbackScheme::kCentralized},
+      {"rwle+bravo", RwLeVariant::kOpt, FallbackScheme::kBravo},
+      {"rwle+centralized", RwLeVariant::kOpt, FallbackScheme::kCentralized},
+      {"rwle-opt+bravo", RwLeVariant::kOpt, FallbackScheme::kBravo},
+      {"rwle-pes+bravo", RwLeVariant::kPes, FallbackScheme::kBravo},
+  };
+  for (const auto& expected : cases) {
+    auto lock = MakeLock(expected.name);
+    ASSERT_NE(lock, nullptr) << expected.name;
+    EXPECT_EQ(lock->name(), expected.name);  // suffix included: results keep it
+    auto* adapter = dynamic_cast<LockAdapter<RwLeLock>*>(lock.get());
+    ASSERT_NE(adapter, nullptr) << expected.name;
+    EXPECT_EQ(adapter->lock().policy().variant, expected.variant) << expected.name;
+    EXPECT_EQ(adapter->lock().policy().fallback, expected.fallback) << expected.name;
+  }
+}
+
+TEST(LockFactoryTest, InvalidCompositionsReturnNull) {
+  EXPECT_EQ(MakeLock("hle+bravo"), nullptr);    // fallback needs an RW-LE base
+  EXPECT_EQ(MakeLock("bravo+bravo"), nullptr);  // standalone bravo is not a base
+  EXPECT_EQ(MakeLock("sgl+centralized"), nullptr);
+  EXPECT_EQ(MakeLock("rwle+"), nullptr);
+  EXPECT_EQ(MakeLock("rwle+bogus"), nullptr);
+  EXPECT_EQ(MakeLock("+bravo"), nullptr);
+}
+
+// LockOptions::fallback is the programmatic spelling of the suffix; an
+// explicit suffix wins over the option so a sweep list stays authoritative.
+TEST(LockFactoryTest, FallbackOptionPropagatesAndSuffixOverrides) {
+  LockOptions options;
+  options.fallback = FallbackScheme::kBravo;
+
+  auto lock = MakeLock("rwle-opt", options);
+  ASSERT_NE(lock, nullptr);
+  auto* adapter = dynamic_cast<LockAdapter<RwLeLock>*>(lock.get());
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_EQ(adapter->lock().policy().fallback, FallbackScheme::kBravo);
+
+  auto overridden = MakeLock("rwle+centralized", options);
+  ASSERT_NE(overridden, nullptr);
+  auto* overridden_adapter = dynamic_cast<LockAdapter<RwLeLock>*>(overridden.get());
+  ASSERT_NE(overridden_adapter, nullptr);
+  EXPECT_EQ(overridden_adapter->lock().policy().fallback,
+            FallbackScheme::kCentralized);
+}
+
+TEST(LockFactoryTest, StandaloneBravoConstructs) {
+  auto lock = MakeLock("bravo");
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->name(), "bravo");
+  auto* adapter = dynamic_cast<LockAdapter<BravoLock>*>(lock.get());
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_TRUE(adapter->lock().bias_armed());  // read-biased out of the box
 }
 
 // LockOptions must actually reach the constructed lock, not just compile:

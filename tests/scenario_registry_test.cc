@@ -18,7 +18,7 @@ namespace {
 
 const std::vector<std::string> kExpectedScenarios = {
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "ablation", "service"};
+    "ablation", "service", "fallback"};
 
 TEST(ScenarioRegistryTest, EveryScenarioRegistersExactlyOnce) {
   RegisterAllScenarios();

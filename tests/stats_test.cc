@@ -71,11 +71,42 @@ TEST(StatsRegistryTest, PlusEqualsMerges) {
   ThreadStats a, b;
   a.commits[0] = 2;
   a.aborts[1] = 3;
+  a.bravo[0] = 11;
   b.commits[0] = 5;
   b.aborts[1] = 7;
+  b.bravo[0] = 13;
   a += b;
   EXPECT_EQ(a.commits[0], 7u);
   EXPECT_EQ(a.aborts[1], 10u);
+  EXPECT_EQ(a.bravo[0], 24u);
+}
+
+TEST(StatsRegistryTest, BravoCountersAggregateAndReset) {
+  StatsRegistry registry;
+  std::thread a([&] {
+    ScopedThreadSlot slot;
+    registry.RecordBravo(BravoCounter::kFastRead);
+    registry.RecordBravo(BravoCounter::kFastRead);
+    registry.RecordBravo(BravoCounter::kRevocation);
+  });
+  a.join();
+  std::thread b([&] {
+    ScopedThreadSlot slot;
+    registry.RecordBravo(BravoCounter::kSlowRead);
+    registry.RecordBravo(BravoCounter::kRevokedReader, 5);
+  });
+  b.join();
+
+  const BravoBreakdown bravo = registry.Aggregate().Snapshot().bravo;
+  EXPECT_EQ(bravo.fast_reads, 2u);
+  EXPECT_EQ(bravo.slow_reads, 1u);
+  EXPECT_EQ(bravo.revocations, 1u);
+  EXPECT_EQ(bravo.revoked_readers, 5u);
+  EXPECT_EQ(bravo.parked_reads, 0u);
+  EXPECT_EQ(bravo.Total(), 9u);
+
+  registry.Reset();
+  EXPECT_EQ(registry.Aggregate().Snapshot().bravo.Total(), 0u);
 }
 
 TEST(NamesTest, AllNamesNonEmpty) {
@@ -84,6 +115,10 @@ TEST(NamesTest, AllNamesNonEmpty) {
   }
   for (int i = 0; i < kAbortCategoryCount; ++i) {
     EXPECT_STRNE(AbortCategoryName(static_cast<AbortCategory>(i)), "?");
+  }
+  for (int i = 0; i < kBravoCounterCount; ++i) {
+    EXPECT_STRNE(BravoCounterName(static_cast<BravoCounter>(i)), "?");
+    EXPECT_STRNE(BravoCounterKey(static_cast<BravoCounter>(i)), "?");
   }
   EXPECT_STREQ(AbortCauseName(AbortCause::kCapacityRead), "capacity-read");
 }
