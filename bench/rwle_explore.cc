@@ -50,6 +50,12 @@ bool ApplyInjection(const std::string& knob) {
     injection.unmonitor_on_suspend = true;
   } else if (knob == "skip-quiescence") {
     injection.skip_quiescence = true;
+  } else if (knob == "chop-eager-piece-publish") {
+    injection.chop_eager_piece_publish = true;
+  } else if (knob == "chop-drop-publish-entry") {
+    injection.chop_drop_publish_entry = true;
+  } else if (knob == "chop-keep-carryover-on-unwind") {
+    injection.chop_keep_carryover_on_unwind = true;
   } else {
     std::fprintf(stderr, "rwle_explore: unknown injection knob '%s'\n", knob.c_str());
     return false;

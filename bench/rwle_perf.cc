@@ -25,12 +25,14 @@
 #include <string>
 #include <vector>
 
+#include "src/chop/chopped_section.h"
 #include "src/common/flags.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_registry.h"
 #include "src/harness/perf_report.h"
 #include "src/harness/result_serializer.h"
 #include "src/htm/htm_runtime.h"
+#include "src/htm/tx_write_set.h"
 #include "src/locks/bravo_lock.h"
 #include "src/memory/tx_var.h"
 #include "src/rwle/rwle_lock.h"
@@ -146,6 +148,41 @@ void RwLeWriteSection(std::uint64_t ops) {
   }
 }
 
+// Full chopped write section: a two-piece chain (chain begin, two chained
+// piece commits capturing into the carryover, NS publication window with
+// the chain's single quiescence barrier). A/B against rwle_write_section:
+// the delta is the whole chain machinery per section (DESIGN.md §14).
+void ChoppedWriteCommit(std::uint64_t ops) {
+  static RwLeLock lock;
+  static ChoppedSection chopped(lock);
+  static TxVar<std::uint64_t> cells[2];
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    chopped.Write(2, [&](std::size_t piece) {
+      cells[piece].Store(cells[piece].Load() + 1);
+    });
+  }
+}
+
+// One op = one piece boundary in isolation: a chained commit (capture the
+// buffered store into the carryover instead of publishing) plus the next
+// piece's begin-with-carryover-redo load. A/B against htm_write_commit: the
+// delta is capture-vs-publish plus the chain-redo check every in-chain load
+// pays. The chain is abandoned (never published) so the timed loop stays on
+// the piece path only.
+void ChopPieceBoundary(std::uint64_t ops) {
+  static TxVar<std::uint64_t> cell(1);
+  static TxWriteSet carryover;
+  HtmRuntime& runtime = HtmRuntime::Global();
+  runtime.BeginChain(&carryover);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    runtime.TxBegin(TxKind::kHtm);
+    cell.Store(cell.Load() + 1);
+    runtime.TxCommitChained(carryover);
+  }
+  runtime.EndChain(/*committed=*/false);
+  carryover.Clear();
+}
+
 // BRAVO biased reader fast path: bias check, slot-hashed table publish,
 // bias recheck, uninstrumented load, withdraw -- the read that never
 // touches the centralized underlay word.
@@ -219,6 +256,10 @@ constexpr MicroBench kBenchmarks[] = {
      RwLeReadSection},
     {"rwle_write_section", "RwLeLock.Write: HTM path incl. quiescence",
      RwLeWriteSection},
+    {"chopped_write_commit", "ChoppedSection.Write: 2-piece chain + publication",
+     ChoppedWriteCommit},
+    {"chop_piece_boundary", "chained piece commit (capture) + next piece begin",
+     ChopPieceBoundary},
     {"bravo_read_section", "BravoLock.Read: biased fast path via the reader table",
      BravoReadSection},
     {"bravo_revoke", "BravoLock: bias revocation (table drain) + re-arming read",

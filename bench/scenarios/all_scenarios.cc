@@ -16,6 +16,7 @@ void RegisterAllScenarios() {
     registry.Register(AblationScenario());
     registry.Register(ServiceScenario());
     registry.Register(FallbackScenario());
+    registry.Register(CapacityScenario());
     return true;
   }();
   (void)registered;

@@ -18,6 +18,7 @@ ScenarioSpec Fig10Scenario();     // TPC-C-lite
 ScenarioSpec AblationScenario();  // §3.3 design-knob ablations
 ScenarioSpec ServiceScenario();   // open-loop Poisson/Zipf service study
 ScenarioSpec FallbackScenario();  // centralized vs BRAVO fallback crossover
+ScenarioSpec CapacityScenario();  // footprint sweep past HTM capacity (chop)
 
 // Registers every scenario above in ScenarioRegistry::Global(), in paper
 // order. Idempotent: safe to call from multiple entry points.

@@ -57,6 +57,8 @@ const char* InvariantName(Invariant invariant) {
       return "direct-access-to-transactional-cell";
     case Invariant::kDataRace:
       return "unsynchronized-conflicting-access";
+    case Invariant::kChainTornPublish:
+      return "chain-commit-torn-publish";
   }
   return "unknown-invariant";
 }
@@ -289,19 +291,35 @@ void TxSan::ValueCheckLocked(int tid, CellShadow& shadow, std::atomic<std::uint6
       continue;
     }
     const ThreadState& other = threads_[t];
-    if (!other.tx_live) {
-      continue;
+    if (other.tx_live) {
+      const auto it = other.tx_writes.find(cell);
+      if (it != other.tx_writes.end() && !it->second.written_back &&
+          it->second.value == observed) {
+        shadow.value = observed;  // adopt to avoid cascading reports
+        ViolationLocked(Invariant::kSpeculativeVisible, tid,
+                        "load of cell " + CellName(cell) + " observed value " +
+                            std::to_string(observed) + " buffered by tid " +
+                            std::to_string(t) + "'s uncommitted transaction (shadow " +
+                            std::to_string(shadow.value) + ")");
+        return;
+      }
     }
-    const auto it = other.tx_writes.find(cell);
-    if (it != other.tx_writes.end() && !it->second.written_back &&
-        it->second.value == observed) {
-      shadow.value = observed;  // adopt to avoid cascading reports
-      ViolationLocked(Invariant::kSpeculativeVisible, tid,
-                      "load of cell " + CellName(cell) + " observed value " +
-                          std::to_string(observed) + " buffered by tid " +
-                          std::to_string(t) + "'s uncommitted transaction (shadow " +
-                          std::to_string(shadow.value) + ")");
-      return;
+    // Same leak, chopping-layer flavor: a captured chain store is supposed
+    // to stay invisible until the chain's publication window flips it to
+    // published; observing its value beforehand is a torn chain.
+    if (other.chain_live) {
+      const auto it = other.chain_writes.find(cell);
+      if (it != other.chain_writes.end() && !it->second.published &&
+          it->second.value == observed) {
+        shadow.value = observed;  // adopt to avoid cascading reports
+        ViolationLocked(Invariant::kSpeculativeVisible, tid,
+                        "load of cell " + CellName(cell) + " observed value " +
+                            std::to_string(observed) + " captured by tid " +
+                            std::to_string(t) +
+                            "'s unpublished chopped chain (shadow " +
+                            std::to_string(shadow.value) + ")");
+        return;
+      }
     }
   }
   const std::uint64_t expected = shadow.value;
@@ -733,6 +751,14 @@ void TxSan::ObservedStore(FabricAccess access, std::uint32_t slot,
   RaceCheckWriteLocked(tid, shadow, cell, direct);
   cell->store(value);
   ApplyWriteShadowLocked(tid, shadow, value);
+  // A chain owner's non-transactional store of a captured value is the
+  // publication the OnChainEnd completeness check waits for.
+  if (state.chain_live && access == FabricAccess::kNonTx) {
+    const auto it = state.chain_writes.find(cell);
+    if (it != state.chain_writes.end() && it->second.value == value) {
+      it->second.published = true;
+    }
+  }
   TickLocked(tid);
   if (!direct) {
     FabricSyncLocked(tid, shadow);
@@ -923,6 +949,101 @@ void TxSan::OnElidedWriteEnd(std::uint32_t slot) {
     --state.elided_write_depth;
   }
   RecordEventLocked(tid, "elided-write-end", nullptr, state.elided_write_depth);
+  TickLocked(tid);
+}
+
+void TxSan::OnChainBegin(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
+  const int tid = TidLocked();
+  ThreadState& state = StateLocked(tid);
+  if (slot != kInvalidThreadSlot) {
+    state.slot = slot;
+  }
+  PreEventLocked(tid);
+  state.chain_live = true;
+  state.chain_writes.clear();
+  state.quiesce_count_at_chain_begin = state.quiesce_end_count;
+  RecordEventLocked(tid, "chain-begin", nullptr, 0);
+  TickLocked(tid);
+}
+
+void TxSan::OnChainCapture(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
+  const int tid = TidLocked();
+  ThreadState& state = StateLocked(tid);
+  if (slot != kInvalidThreadSlot) {
+    state.slot = slot;
+  }
+  PreEventLocked(tid);
+  RecordEventLocked(tid, "chain-capture", nullptr, state.tx_writes.size());
+
+  // A chained piece commit moves the write buffer into the chain carryover
+  // instead of publishing it; nothing may have reached real memory yet. A
+  // captured value already visible in its cell is a leaked piece store.
+  for (const auto& [cell, mirror] : state.tx_writes) {
+    auto it = shadow_.find(cell);
+    if (it == shadow_.end() || !it->second.initialized) {
+      continue;
+    }
+    const std::uint64_t raw = cell->load();
+    if (raw != it->second.value && raw == mirror.value) {
+      it->second.value = raw;  // adopt to avoid cascading reports
+      ViolationLocked(Invariant::kSpeculativeVisible, tid,
+                      "chained piece commit captured value " + std::to_string(mirror.value) +
+                          " for cell " + CellName(cell) +
+                          " but the value is already visible in real memory");
+      break;
+    }
+  }
+
+  // Carry the buffered stores over into the chain mirror (unpublished), then
+  // drop the per-transaction footprint exactly like a commit would -- the
+  // piece's lines are released even though the values stay invisible.
+  for (const auto& [cell, mirror] : state.tx_writes) {
+    state.chain_writes[cell] = ThreadState::ChainWriteMirror{mirror.value, false};
+  }
+  ClearFootprintLocked(tid);
+  TickLocked(tid);
+}
+
+void TxSan::OnChainEnd(std::uint32_t slot, bool committed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
+  const int tid = TidLocked();
+  ThreadState& state = StateLocked(tid);
+  if (slot != kInvalidThreadSlot) {
+    state.slot = slot;
+  }
+  PreEventLocked(tid);
+  RecordEventLocked(tid, committed ? "chain-commit" : "chain-unwind", nullptr,
+                    state.chain_writes.size());
+
+  if (committed) {
+    // Chain atomicity: the publication window must have stored every
+    // captured entry back to real memory before the chain ends.
+    for (const auto& [cell, mirror] : state.chain_writes) {
+      if (!mirror.published) {
+        ViolationLocked(Invariant::kChainTornPublish, tid,
+                        "chain committed but captured store of value " +
+                            std::to_string(mirror.value) + " to cell " + CellName(cell) +
+                            " was never published");
+        break;
+      }
+    }
+    // Amortized RW-LE contract: one quiescence scan per chain (not per
+    // piece) must still drain in-flight readers before publication.
+    if (!state.chain_writes.empty() &&
+        state.quiesce_end_count == state.quiesce_count_at_chain_begin) {
+      ViolationLocked(Invariant::kCommitWithoutQuiescence, tid,
+                      "chain committed " + std::to_string(state.chain_writes.size()) +
+                          " captured store(s) without draining readers "
+                          "(no quiescence scan since chain begin)");
+    }
+  }
+  state.chain_writes.clear();
+  state.chain_live = false;
   TickLocked(tid);
 }
 

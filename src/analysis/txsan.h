@@ -49,6 +49,8 @@ enum class Invariant : std::uint8_t {
   // Race detector.
   kDirectAccessDuringTx = 9,  // LoadDirect/StoreDirect vs live transaction
   kDataRace = 10,             // unsynchronized conflicting direct access
+  // Chopping layer (src/chop/).
+  kChainTornPublish = 11,  // chain committed without publishing every entry
 };
 
 const char* InvariantName(Invariant invariant);
@@ -130,6 +132,9 @@ class TxSan final : public FabricObserver {
   void OnQuiescenceEnd(std::uint32_t slot, const void* clocks) override;
   void OnElidedWriteBegin(std::uint32_t slot) override;
   void OnElidedWriteEnd(std::uint32_t slot) override;
+  void OnChainBegin(std::uint32_t slot) override;
+  void OnChainCapture(std::uint32_t slot) override;
+  void OnChainEnd(std::uint32_t slot, bool committed) override;
 
  private:
   // A vector-clock epoch: event `clock` of analysis thread `tid`.
@@ -170,6 +175,18 @@ class TxSan final : public FabricObserver {
     TxKind tx_kind = TxKind::kHtm;
     std::unordered_map<std::atomic<std::uint64_t>*, TxWriteMirror> tx_writes;
     std::unordered_map<std::atomic<std::uint64_t>*, std::uint64_t> tx_reads;  // version
+
+    // Chopped-chain mirror (src/chop/): stores captured by committed pieces
+    // of a live chain, still invisible to other threads. `published` flips
+    // when the chain owner's non-transactional publication store arrives;
+    // OnChainEnd(committed) requires every entry published.
+    struct ChainWriteMirror {
+      std::uint64_t value = 0;
+      bool published = false;
+    };
+    bool chain_live = false;
+    std::unordered_map<std::atomic<std::uint64_t>*, ChainWriteMirror> chain_writes;
+    std::uint64_t quiesce_count_at_chain_begin = 0;
 
     // Event ring.
     std::vector<Event> ring;

@@ -134,6 +134,15 @@ void WriteBravo(JsonWriter& json, const BravoBreakdown& bravo) {
   WriteBreakdown(json, "bravo", bravo.Entries(), bravo.Total());
 }
 
+// Transaction-chopping counters; omitted for runs without chopped sections
+// (all counters zero).
+void WriteChop(JsonWriter& json, const ChopBreakdown& chop) {
+  if (chop.Total() == 0) {
+    return;
+  }
+  WriteBreakdown(json, "chop", chop.Entries(), chop.Total());
+}
+
 void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   const RunResult& result = entry.result;
   const StatsSnapshot snapshot = result.stats.Snapshot();
@@ -154,6 +163,7 @@ void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   WriteBreakdown(json, "commits", snapshot.commits.Entries(), snapshot.commits.Total());
   WriteBreakdown(json, "aborts", snapshot.aborts.Entries(), snapshot.aborts.Total());
   WriteBravo(json, snapshot.bravo);
+  WriteChop(json, snapshot.chop);
   WriteLatency(json, result.latency);
   WriteService(json, result.service);
   json.EndObject();

@@ -81,6 +81,18 @@ class FabricObserver {
   // quiescence scan since it began.
   virtual void OnElidedWriteBegin(std::uint32_t slot) = 0;
   virtual void OnElidedWriteEnd(std::uint32_t slot) = 0;
+
+  // --- Chopping layer events (src/chop/) ---
+  // A chopped chain started on this thread: pieces will capture their write
+  // sets (OnChainCapture) instead of publishing at piece commit.
+  virtual void OnChainBegin(std::uint32_t slot) = 0;
+  // A piece won its commit race and drained its write buffer into the
+  // chain's carryover set; nothing reached memory.
+  virtual void OnChainCapture(std::uint32_t slot) = 0;
+  // The chain ended. committed == true means the whole carryover set was
+  // published (quiescence barrier + non-transactional write-back); false
+  // means the chain unwound and the captured state was discarded.
+  virtual void OnChainEnd(std::uint32_t slot, bool committed) = 0;
 };
 
 }  // namespace rwle

@@ -144,6 +144,95 @@ void HtmRuntime::TxCommit() {
                      std::memory_order_release);
 }
 
+// --- Chopped chains (src/chop/) ---------------------------------------------
+
+void HtmRuntime::BeginChain(const TxWriteSet* carryover) {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr && "BeginChain requires a registered thread");
+  RWLE_CHECK(!ctx->HasLiveTx() && "BeginChain inside a transaction");
+  RWLE_CHECK(ctx->chain_redo_ == nullptr && "nested chains unsupported");
+  RWLE_CHECK(carryover != nullptr);
+  ctx->chain_redo_ = carryover;
+  // Relaxed: the counter only feeds the debug-only set_config guard, whose
+  // contract already requires no Begin/EndChain runs concurrently with it;
+  // no cross-thread ordering hangs off this count.
+  live_chains_.fetch_add(1, std::memory_order_relaxed);
+  RWLE_TXSAN_HOOK(*this, OnChainBegin(ctx->thread_slot_));
+  EmitTraceEvent(trace_sink(), ctx->thread_slot_, TraceEventType::kChopChainBegin);
+}
+
+void HtmRuntime::EndChain(bool committed) {
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr);
+  RWLE_CHECK(ctx->chain_redo_ != nullptr && "EndChain without BeginChain");
+  RWLE_CHECK(!ctx->HasLiveTx() && "EndChain with a live piece");
+  ctx->chain_redo_ = nullptr;
+  // Relaxed: see BeginChain -- debug-only guard, no ordering required.
+  live_chains_.fetch_sub(1, std::memory_order_relaxed);
+  RWLE_TXSAN_HOOK(*this, OnChainEnd(ctx->thread_slot_, committed));
+  (void)committed;  // consumed only by the txsan hook in analysis builds
+}
+
+void HtmRuntime::TxCommitChained(TxWriteSet& carryover) {
+  // Same commit race as TxCommit: the scheduler can insert a doomer between
+  // the piece's last access and its commit attempt.
+  RWLE_SCHED_POINT(kTxCommit, nullptr);
+  TxContext* ctx = CurrentContext();
+  RWLE_CHECK(ctx != nullptr);
+  RWLE_CHECK(ctx->chain_redo_ == &carryover && "TxCommitChained outside its chain");
+  const std::uint64_t epoch = StatusEpoch(ctx->status_.load());
+  std::uint64_t expected = PackStatus(epoch, AbortCause::kNone, TxPhase::kActive);
+  const std::uint64_t committing = PackStatus(epoch, AbortCause::kNone, TxPhase::kCommitting);
+  if (!ctx->status_.compare_exchange_strong(expected, committing)) {
+    // Lost the race against a doomer: the piece aborts, the carryover set
+    // is untouched, and the caller decides retry-vs-unwind.
+    RWLE_CHECK(StatusPhase(expected) == TxPhase::kDoomed);
+    const AbortCause cause = FinishAbort(*ctx);
+    throw TxAbortException(cause, ctx->kind_);
+  }
+
+  // Capture instead of write-back: the piece's buffered stores move into the
+  // chain's carryover set and never reach memory, so readers keep observing
+  // pre-chain state. A conflicting access that lost the COMMITTING race
+  // waits exactly as for TxCommit and then reads the (unchanged) backing
+  // value -- intermediate chain state stays invisible.
+  RWLE_TXSAN_HOOK(*this, OnTxCommitting(ctx->thread_slot_));
+  for (const TxWriteSet::Entry& entry : ctx->write_buffer_) {
+    carryover.Put(entry.cell, entry.value);
+#ifdef RWLE_ANALYSIS
+    if (fault_injection_.chop_eager_piece_publish) {
+      // Injected bug: the capture also writes through to real memory,
+      // exposing intermediate chain state to concurrent readers.
+      entry.cell->store(entry.value);
+    }
+#endif
+  }
+
+  const OwnerToken token = MakeOwnerToken(ctx->thread_slot_, epoch);
+  for (const std::uint32_t index : ctx->owned_line_indices_) {
+    OwnerToken mine = token;
+    table_.SlotAt(index).writer.compare_exchange_strong(mine, 0);
+  }
+  for (const std::uint32_t index : ctx->read_line_indices_) {
+    ConflictTable::ClearReaderBit(table_.SlotAt(index), ctx->thread_slot_);
+  }
+  ctx->write_buffer_.Clear();
+  ctx->owned_line_indices_.clear();
+  ctx->read_line_indices_.clear();
+  ctx->counters_.commits[static_cast<int>(ctx->kind_)]++;
+  CostMeter::Global().ChargeAt(ctx->thread_slot_, CostModel::kTxCommit);
+  // OnChainCapture, not OnTxCommitted: the piece deliberately violates the
+  // committed-transaction contract (no entry was written back), so txsan
+  // mirrors the buffer into its chain shadow instead of checking write-back.
+  RWLE_TXSAN_HOOK(*this, OnChainCapture(ctx->thread_slot_));
+  EmitTraceEvent(trace_sink(), ctx->thread_slot_, TraceEventType::kChopPieceCommit,
+                 static_cast<std::uint8_t>(ctx->kind_), 0, carryover.size());
+  // Footprint is clear: advance the epoch and go idle, release-ordered for
+  // the same reason as TxCommit's epoch advance.
+  ctx->status_.store(PackStatus(epoch + 1, AbortCause::kNone, TxPhase::kIdle),
+                     std::memory_order_release);
+}
+
 void HtmRuntime::TxAbort(AbortCause cause) {
   TxContext* ctx = CurrentContext();
   RWLE_CHECK(ctx != nullptr);
@@ -482,6 +571,18 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
   if (const std::uint64_t* buffered = ctx.write_buffer_.Find(cell)) {
     RWLE_TXSAN_HOOK(*this, OnBufferedLoad(ctx.thread_slot_, cell, *buffered));
     return *buffered;
+  }
+
+  // Read-own-chain-writes: a cell captured by an earlier piece of this
+  // thread's chopped chain is served from the carryover set, *untracked* --
+  // no reader bit, no capacity cost -- because the chain owner's publication
+  // lock already orders it against every conflicting writer, and the value
+  // cannot change under us (the carryover is thread-private).
+  if (ctx.chain_redo_ != nullptr) {
+    if (const std::uint64_t* captured = ctx.chain_redo_->Find(cell)) {
+      RWLE_TXSAN_HOOK(*this, OnBufferedLoad(ctx.thread_slot_, cell, *captured));
+      return *captured;
+    }
   }
 
   // Hash once: the index both resolves the slot and goes into the read-set

@@ -51,14 +51,20 @@ class HtmRuntime {
   HtmRuntime& operator=(const HtmRuntime&) = delete;
 
   const HtmConfig& config() const { return config_; }
-  // Must not be called while any transaction is in flight (checked in debug
-  // builds: a live transaction could straddle two capacity limits).
+  // Must not be called while any transaction *or chopped chain* is in
+  // flight (checked in debug builds): a live transaction could straddle two
+  // capacity limits, and a chain's later pieces would begin under different
+  // limits than the pieces whose captured state they extend.
   void set_config(const HtmConfig& config) {
 #ifndef NDEBUG
     for (std::uint32_t slot = 0; slot < kMaxThreads; ++slot) {
       RWLE_DCHECK(!contexts_[slot].HasLiveTx() &&
                   "set_config called while a transaction is in flight");
     }
+    // Relaxed: a zero count while no Begin/EndChain runs concurrently (the
+    // caller's contract) needs no ordering; this is a debug-only guard.
+    RWLE_DCHECK(live_chains_.load(std::memory_order_relaxed) == 0 &&
+                "set_config called while a chopped chain is live");
 #endif
     config_ = config;
   }
@@ -82,6 +88,30 @@ class HtmRuntime {
   // Commits the current transaction, atomically publishing its buffered
   // stores. Throws TxAbortException if the transaction was doomed.
   void TxCommit();
+
+  // --- Chopped-chain support (src/chop/) --------------------------------
+  //
+  // A chopped chain runs one oversized critical section as several small
+  // transactions ("pieces"). Pieces commit with TxCommitChained, which wins
+  // the same ACTIVE -> COMMITTING race as TxCommit but *captures* the write
+  // buffer into `carryover` instead of publishing it, so nothing becomes
+  // visible to other threads until the chain's owner publishes the whole
+  // carryover set at chain end (ChoppedSection does that under its chain
+  // lock, after one quiescence barrier). Footprint is released and the
+  // epoch advances exactly as in TxCommit, so conflict detection for the
+  // next piece starts clean.
+
+  // Marks a chain live on the calling thread: `carryover` becomes the
+  // thread's chain-redo set (transactional loads consult it after the write
+  // buffer, untracked -- read-own-chain-writes with no capacity cost), and
+  // set_config is forbidden until EndChain. No transaction may be live.
+  void BeginChain(const TxWriteSet* carryover);
+  void EndChain(bool committed);
+
+  // Commits the current piece into `carryover`. Throws TxAbortException if
+  // the piece was doomed (the caller unwinds the chain or retries the
+  // piece; the carryover set is untouched by a failed piece).
+  void TxCommitChained(TxWriteSet& carryover);
 
   // Self-aborts the current transaction with the given cause and throws.
   [[noreturn]] void TxAbort(AbortCause cause);
@@ -160,6 +190,10 @@ class HtmRuntime {
     bool rot_tracks_reads = false;          // ROT loads take read-set entries
     bool unmonitor_on_suspend = false;      // suspend releases write ownership
     bool skip_quiescence = false;           // RW-LE commit skips Synchronize()
+    // Chopping-layer bugs (src/chop/):
+    bool chop_eager_piece_publish = false;   // piece capture also hits memory
+    bool chop_drop_publish_entry = false;    // chain publish skips one entry
+    bool chop_keep_carryover_on_unwind = false;  // unwind keeps stale redo
   };
   FaultInjection& fault_injection() { return fault_injection_; }
 
@@ -268,6 +302,9 @@ class HtmRuntime {
   HtmConfig config_;
   ConflictTable table_;
   TxContext contexts_[kMaxThreads];
+  // Chains currently live across all threads; guards set_config against
+  // changing capacity limits mid-chain (see the DCHECK above).
+  std::atomic<std::uint32_t> live_chains_{0};
   InterruptSource* interrupt_source_ = nullptr;
   std::atomic<FabricObserver*> analysis_observer_{nullptr};
   std::atomic<TraceSink*> trace_sink_{nullptr};

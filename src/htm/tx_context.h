@@ -130,6 +130,13 @@ class TxContext {
   // tx_write_set.h for why not unordered_map).
   TxWriteSet write_buffer_;
 
+  // Chain carryover (src/chop/): while a chopped chain is live on this
+  // thread, earlier pieces' captured stores live here and transactional
+  // loads consult it after the write buffer -- read-own-chain-writes
+  // without re-reading (or re-tracking) the cells. Null outside a chain.
+  // Owner thread only; set by BeginChain, cleared by EndChain.
+  const TxWriteSet* chain_redo_ = nullptr;
+
   // Per-transaction set logs: the conflict-table slot indices this
   // transaction owns (write set) or has marked with its reader bit (read
   // set). Commit and abort release exactly these slots -- O(footprint), not

@@ -54,6 +54,16 @@ class TxWriteSet {
     return idx == 0 ? nullptr : &entries_[idx - 1].value;
   }
 
+  // Read-only lookup for consumers that hold the set by const pointer (the
+  // chain-carryover check in TxLoad; see tx_context.h chain_redo_).
+  const std::uint64_t* Find(const std::atomic<std::uint64_t>* cell) const {
+    if (entries_.empty()) {
+      return nullptr;
+    }
+    const std::uint32_t idx = table_[Probe(cell)];
+    return idx == 0 ? nullptr : &entries_[idx - 1].value;
+  }
+
   // Inserts or overwrites the buffered value for `cell`.
   void Put(std::atomic<std::uint64_t>* cell, std::uint64_t value) {
     if (table_.empty()) {

@@ -70,6 +70,20 @@ class LockWord {
     }
   }
 
+  // Holder-only in-place transition `held_word`'s state -> `to`, bumping
+  // the acquisition version like a fresh acquire (FAIR readers that copied
+  // the old word must see it as a new acquisition). Store, not CAS: only
+  // the current holder may call this, and CellStore already dooms every
+  // transaction subscribed to the word. Returns the word now held. Used by
+  // the chopping layer to turn its chain token (kRotLocked, readers
+  // proceed) into the kNsLocked publication window.
+  std::uint64_t Upgrade(std::uint64_t held_word, LockState to) {
+    RWLE_SCHED_POINT(kLockAcquire, &cell_);
+    const std::uint64_t next = MakeLockWord(LockWordVersion(held_word) + 1, to);
+    HtmRuntime::Global().CellStore(&cell_, next);
+    return next;
+  }
+
   // Releases the lock, preserving the version (so FAIR readers that copied
   // the held word compare correctly against later acquisitions).
   void Release(std::uint64_t held_word) {

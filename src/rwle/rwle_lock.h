@@ -40,6 +40,8 @@
 
 namespace rwle {
 
+class ChoppedSection;
+
 class RwLeLock {
  public:
   explicit RwLeLock(const RwLePolicy& policy = RwLePolicy{});
@@ -210,6 +212,11 @@ class RwLeLock {
   void Synchronize() const { clocks_.Synchronize(); }
 
  private:
+  // The chopping layer (src/chop/) drives the write word and the NS-path
+  // machinery directly: a chain holds wlock_ as its chain token and reuses
+  // the quiescence / fallback plumbing for its publication window.
+  friend class ChoppedSection;
+
   // Runs the user body inside the current transaction, converting foreign
   // exceptions into a clean transaction cancellation.
   template <typename Fn>

@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "src/chop/chopped_section.h"
 #include "src/htm/abort.h"
 #include "src/htm/htm_runtime.h"
 #include "src/locks/bravo_lock.h"
@@ -275,6 +276,103 @@ class BravoFallback final : public LitmusRun {
   bool torn_[kThreads] = {};
 };
 
+// A chopped writer keeps two cells in lockstep across two pieces of one
+// chain while a reader checks the invariant through elided read sections.
+// Chain-commit atomicity is entirely the chopping layer's job: intermediate
+// piece commits are captured (never published), so no schedule may let the
+// reader observe x != y. The workload for the chop_eager_piece_publish and
+// chop_drop_publish_entry fault injections -- with either injected, a torn
+// intermediate state reaches real memory and the reader (or txsan's chain
+// oracle) flags it.
+class ChopTornChain final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 2;
+  static constexpr std::uint64_t kChains = 2;
+
+  void Thread(std::uint32_t tid) override {
+    if (tid == 0) {
+      for (std::uint64_t i = 0; i < kChains; ++i) {
+        chopped_.Write(2, [this](std::size_t piece) {
+          if (piece == 0) {
+            x_.Store(x_.Load() + 1);
+          } else {
+            y_.Store(y_.Load() + 1);
+          }
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 2 * kChains; ++i) {
+        lock_.Read([this] {
+          if (x_.Load() != y_.Load()) {
+            torn_ = true;
+          }
+        });
+      }
+    }
+  }
+
+  bool Verify() override {
+    return !torn_ && x_.Load() == kChains && y_.Load() == kChains;
+  }
+
+ private:
+  RwLeLock lock_;
+  ChoppedSection chopped_{lock_};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  bool torn_ = false;  // written only by the reader thread
+};
+
+// A chopped chain whose first piece reads a noise cell that a second,
+// lock-free thread keeps storing. Requester-wins dooms the piece whenever
+// the store lands mid-piece, and with max_piece_retries = 0 every piece
+// abort unwinds the whole chain: the carryover must be discarded and the
+// restarted chain must recompute from real memory. The workload for the
+// chop_keep_carryover_on_unwind injection -- stale redo entries make the
+// restarted chain double-apply its increments, failing Verify.
+class ChopPieceAbort final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 2;
+  static constexpr std::uint64_t kChains = 2;
+  static constexpr std::uint64_t kNoiseStores = 4;
+
+  void Thread(std::uint32_t tid) override {
+    if (tid == 0) {
+      for (std::uint64_t i = 0; i < kChains; ++i) {
+        chopped_.Write(2, [this](std::size_t piece) {
+          if (piece == 0) {
+            (void)noise_.Load();  // doom window: joins the piece's read set
+            x_.Store(x_.Load() + 1);
+          } else {
+            y_.Store(y_.Load() + 1);
+          }
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < kNoiseStores; ++i) {
+        noise_.Store(100 + i);
+      }
+    }
+  }
+
+  bool Verify() override {
+    return x_.Load() == kChains && y_.Load() == kChains;
+  }
+
+ private:
+  static ChopPolicy Policy() {
+    ChopPolicy policy;
+    policy.max_piece_retries = 0;  // any piece abort unwinds the chain
+    return policy;
+  }
+
+  RwLeLock lock_;
+  ChoppedSection chopped_{lock_, Policy()};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  TxVar<std::uint64_t> noise_{0};
+};
+
 }  // namespace
 
 const std::vector<LitmusSpec>& AllLitmus() {
@@ -298,6 +396,14 @@ const std::vector<LitmusSpec>& AllLitmus() {
        "RW-LE writes forced non-speculative; readers park in the BRAVO fallback",
        BravoFallback::kThreads, /*intentionally_buggy=*/false,
        &ArenaMake<BravoFallback>},
+      {"chop-torn-chain",
+       "chopped two-piece chain keeps two cells in lockstep, one reader checks",
+       ChopTornChain::kThreads, /*intentionally_buggy=*/false,
+       &ArenaMake<ChopTornChain>},
+      {"chop-piece-abort",
+       "lock-free stores doom chopped pieces; every unwind must discard carryover",
+       ChopPieceAbort::kThreads, /*intentionally_buggy=*/false,
+       &ArenaMake<ChopPieceAbort>},
   };
   return specs;
 }

@@ -183,6 +183,57 @@ constexpr const char* BravoCounterKey(BravoCounter counter) {
   return "unknown";
 }
 
+// Transaction-chopping events (src/chop/chopped_section.h). A chopped write
+// section commits as a chain of piece-wise HTM/ROT commits; these counters
+// expose how chains progressed and where they fell off the speculative
+// ladder. Counted alongside commits/aborts: each piece attempt still ticks
+// the regular commit/abort breakdowns.
+enum class ChopCounter : std::uint8_t {
+  kChain = 0,           // chains that committed (final piece published)
+  kPiece = 1,           // piece commits captured into a chain carryover
+  kPieceAbort = 2,      // speculative piece attempts that aborted
+  kChainUnwind = 3,     // chains unwound after a piece exhausted its retries
+  kNsFallback = 4,      // chopped sections demoted to the NS serial path
+  kCarryoverBytes = 5,  // bytes of captured stores carried between pieces
+};
+inline constexpr int kChopCounterCount = 6;
+
+constexpr const char* ChopCounterName(ChopCounter counter) {
+  switch (counter) {
+    case ChopCounter::kChain:
+      return "Chop chains";
+    case ChopCounter::kPiece:
+      return "Chop pieces";
+    case ChopCounter::kPieceAbort:
+      return "Chop piece aborts";
+    case ChopCounter::kChainUnwind:
+      return "Chop unwinds";
+    case ChopCounter::kNsFallback:
+      return "Chop NS fallbacks";
+    case ChopCounter::kCarryoverBytes:
+      return "Chop carryover bytes";
+  }
+  return "?";
+}
+
+constexpr const char* ChopCounterKey(ChopCounter counter) {
+  switch (counter) {
+    case ChopCounter::kChain:
+      return "chains";
+    case ChopCounter::kPiece:
+      return "pieces";
+    case ChopCounter::kPieceAbort:
+      return "piece_aborts";
+    case ChopCounter::kChainUnwind:
+      return "chain_unwinds";
+    case ChopCounter::kNsFallback:
+      return "ns_fallbacks";
+    case ChopCounter::kCarryoverBytes:
+      return "carryover_bytes";
+  }
+  return "unknown";
+}
+
 // One named counter of a breakdown, in legend order: the human label used
 // by the table renderer, the stable key used by the JSON serializer, and
 // the count itself.
@@ -287,10 +338,45 @@ struct BravoBreakdown {
   }
 };
 
+// Snapshot of the chopping counters; same contract as CommitBreakdown. All
+// zero for runs without chopped sections (the serializer omits the block
+// then).
+struct ChopBreakdown {
+  std::uint64_t chains = 0;
+  std::uint64_t pieces = 0;
+  std::uint64_t piece_aborts = 0;
+  std::uint64_t chain_unwinds = 0;
+  std::uint64_t ns_fallbacks = 0;
+  std::uint64_t carryover_bytes = 0;
+
+  std::uint64_t Total() const {
+    return chains + pieces + piece_aborts + chain_unwinds + ns_fallbacks +
+           carryover_bytes;
+  }
+
+  std::array<CounterView, kChopCounterCount> Entries() const {
+    return {{
+        {ChopCounterName(ChopCounter::kChain), ChopCounterKey(ChopCounter::kChain),
+         chains},
+        {ChopCounterName(ChopCounter::kPiece), ChopCounterKey(ChopCounter::kPiece),
+         pieces},
+        {ChopCounterName(ChopCounter::kPieceAbort),
+         ChopCounterKey(ChopCounter::kPieceAbort), piece_aborts},
+        {ChopCounterName(ChopCounter::kChainUnwind),
+         ChopCounterKey(ChopCounter::kChainUnwind), chain_unwinds},
+        {ChopCounterName(ChopCounter::kNsFallback),
+         ChopCounterKey(ChopCounter::kNsFallback), ns_fallbacks},
+        {ChopCounterName(ChopCounter::kCarryoverBytes),
+         ChopCounterKey(ChopCounter::kCarryoverBytes), carryover_bytes},
+    }};
+  }
+};
+
 struct StatsSnapshot {
   CommitBreakdown commits;
   AbortBreakdown aborts;
   BravoBreakdown bravo;
+  ChopBreakdown chop;
 
   std::uint64_t TotalAttempts() const { return commits.Total() + aborts.Total(); }
 };
@@ -324,6 +410,7 @@ struct ThreadStats {
   std::uint64_t commits[kCommitPathCount] = {};
   std::uint64_t aborts[kAbortCategoryCount] = {};
   std::uint64_t bravo[kBravoCounterCount] = {};
+  std::uint64_t chop[kChopCounterCount] = {};
 
   std::uint64_t TotalCommits() const {
     std::uint64_t total = 0;
@@ -368,6 +455,14 @@ struct ThreadStats {
     snapshot.bravo.revocations = bravo[static_cast<int>(BravoCounter::kRevocation)];
     snapshot.bravo.revoked_readers =
         bravo[static_cast<int>(BravoCounter::kRevokedReader)];
+    snapshot.chop.chains = chop[static_cast<int>(ChopCounter::kChain)];
+    snapshot.chop.pieces = chop[static_cast<int>(ChopCounter::kPiece)];
+    snapshot.chop.piece_aborts = chop[static_cast<int>(ChopCounter::kPieceAbort)];
+    snapshot.chop.chain_unwinds =
+        chop[static_cast<int>(ChopCounter::kChainUnwind)];
+    snapshot.chop.ns_fallbacks = chop[static_cast<int>(ChopCounter::kNsFallback)];
+    snapshot.chop.carryover_bytes =
+        chop[static_cast<int>(ChopCounter::kCarryoverBytes)];
     return snapshot;
   }
 
@@ -380,6 +475,9 @@ struct ThreadStats {
     }
     for (int i = 0; i < kBravoCounterCount; ++i) {
       bravo[i] += other.bravo[i];
+    }
+    for (int i = 0; i < kChopCounterCount; ++i) {
+      chop[i] += other.chop[i];
     }
     return *this;
   }
@@ -406,6 +504,10 @@ class StatsRegistry {
 
   void RecordBravo(BravoCounter counter, std::uint64_t n = 1) {
     Local().bravo[static_cast<int>(counter)] += n;
+  }
+
+  void RecordChop(ChopCounter counter, std::uint64_t n = 1) {
+    Local().chop[static_cast<int>(counter)] += n;
   }
 
   ThreadStats Aggregate() const {

@@ -57,8 +57,20 @@ enum class TraceEventType : std::uint8_t {
   // reader table. arg on kBravoRevokeEnd = occupied entries drained.
   kBravoRevokeBegin = 12,
   kBravoRevokeEnd = 13,
+  // Transaction chopping (src/chop/): a chain of piece-wise commits that
+  // stays invisible to readers until kChopChainCommit publishes it.
+  kChopChainBegin = 14,
+  // One piece committed into the chain's carryover set. arg = carryover
+  // entries after the capture.
+  kChopPieceCommit = 15,
+  // Piece aborts exhausted their retry budget; the chain restarted from
+  // scratch. detail_b = AbortCause of the final piece attempt.
+  kChopChainUnwind = 16,
+  // The whole chain published (quiescence + write-back). arg = entries
+  // published; detail_a = pieces in the chain.
+  kChopChainCommit = 17,
 };
-inline constexpr int kTraceEventTypeCount = 14;
+inline constexpr int kTraceEventTypeCount = 18;
 
 constexpr const char* TraceEventTypeName(TraceEventType type) {
   switch (type) {
@@ -90,6 +102,14 @@ constexpr const char* TraceEventTypeName(TraceEventType type) {
       return "bravo-revoke-begin";
     case TraceEventType::kBravoRevokeEnd:
       return "bravo-revoke-end";
+    case TraceEventType::kChopChainBegin:
+      return "chop-chain-begin";
+    case TraceEventType::kChopPieceCommit:
+      return "chop-piece-commit";
+    case TraceEventType::kChopChainUnwind:
+      return "chop-chain-unwind";
+    case TraceEventType::kChopChainCommit:
+      return "chop-chain-commit";
   }
   return "?";
 }

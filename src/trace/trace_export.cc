@@ -62,6 +62,8 @@ struct OpenSpans {
   std::uint64_t reader_start = 0;
   bool revoke_open = false;
   std::uint64_t revoke_start = 0;
+  bool chain_open = false;
+  std::uint64_t chain_start = 0;
 };
 
 class LaneExporter {
@@ -172,6 +174,43 @@ class LaneExporter {
           Complete("bravo-revoke", pid, open_.revoke_start, event.timestamp,
                    [&] { json_.Field("revoked_readers", event.arg); });
           open_.revoke_open = false;
+        } else {
+          ++unpaired_;
+        }
+        break;
+      case TraceEventType::kChopChainBegin:
+        // A chain that unwinds re-begins, so begin/unwind/begin/commit pair
+        // up as consecutive chain-attempt spans.
+        open_.chain_open = true;
+        open_.chain_start = event.timestamp;
+        break;
+      case TraceEventType::kChopPieceCommit:
+        Instant("chop-piece", pid, event.timestamp, [&] {
+          json_.Field("tx", TxSpanName(event.detail_a) + 3);  // skip "tx:"
+          json_.Field("carryover_entries", event.arg);
+        });
+        break;
+      case TraceEventType::kChopChainUnwind: {
+        const char* cause = AbortCauseName(static_cast<AbortCause>(event.detail_b));
+        if (open_.chain_open) {
+          Complete("chop-chain", pid, open_.chain_start, event.timestamp, [&] {
+            json_.Field("outcome", "unwind");
+            json_.Field("cause", cause);
+          });
+          open_.chain_open = false;
+        } else {
+          ++unpaired_;
+        }
+        break;
+      }
+      case TraceEventType::kChopChainCommit:
+        if (open_.chain_open) {
+          Complete("chop-chain", pid, open_.chain_start, event.timestamp, [&] {
+            json_.Field("outcome", "commit");
+            json_.Field("pieces", std::uint64_t{event.detail_a});
+            json_.Field("published_entries", event.arg);
+          });
+          open_.chain_open = false;
         } else {
           ++unpaired_;
         }

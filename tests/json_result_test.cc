@@ -487,6 +487,47 @@ TEST(ResultSerializerTest, BravoBlockRoundTrips) {
   EXPECT_EQ(bravo.At("revoked_readers").AsUint(), 21u);
 }
 
+// Chop blocks: same contract as BRAVO -- omitted entirely for runs with no
+// chopped sections, and round-tripping every counter when present.
+TEST(ResultSerializerTest, ChopBlockIsOmittedWhenEmpty) {
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 10.0, TestResult(2));  // TestResult records no chop
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  EXPECT_FALSE(first.Has("chop"));
+}
+
+TEST(ResultSerializerTest, ChopBlockRoundTrips) {
+  RunResult result = TestResult(2);
+  result.stats.chop[static_cast<int>(ChopCounter::kChain)] = 120;
+  result.stats.chop[static_cast<int>(ChopCounter::kPiece)] = 960;
+  result.stats.chop[static_cast<int>(ChopCounter::kPieceAbort)] = 35;
+  result.stats.chop[static_cast<int>(ChopCounter::kChainUnwind)] = 4;
+  result.stats.chop[static_cast<int>(ChopCounter::kNsFallback)] = 1;
+  result.stats.chop[static_cast<int>(ChopCounter::kCarryoverBytes)] = 23040;
+
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-chop", 10.0, result);
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  ASSERT_TRUE(first.Has("chop"));
+  const JsonValue& chop = first.At("chop");
+  EXPECT_EQ(chop.At("chains").AsUint(), 120u);
+  EXPECT_EQ(chop.At("pieces").AsUint(), 960u);
+  EXPECT_EQ(chop.At("piece_aborts").AsUint(), 35u);
+  EXPECT_EQ(chop.At("chain_unwinds").AsUint(), 4u);
+  EXPECT_EQ(chop.At("ns_fallbacks").AsUint(), 1u);
+  EXPECT_EQ(chop.At("carryover_bytes").AsUint(), 23040u);
+  EXPECT_EQ(chop.At("total").AsUint(), 24160u);
+}
+
 // Latency blocks: omitted entirely for runs that recorded none (so legacy
 // consumers see an unchanged document), and round-tripping count/mean and
 // the percentile ladder per op and per commit path when present.

@@ -18,7 +18,7 @@ namespace {
 
 const std::vector<std::string> kExpectedScenarios = {
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "ablation", "service", "fallback"};
+    "ablation", "service", "fallback", "capacity"};
 
 TEST(ScenarioRegistryTest, EveryScenarioRegistersExactlyOnce) {
   RegisterAllScenarios();
@@ -48,8 +48,12 @@ TEST(ScenarioRegistryTest, SpecsAreWellFormed) {
       EXPECT_GT(panel, 0.0);
       // Figure panels are write-ratio fractions (at most 1); the service
       // scenario's panel is offered load as a fraction of modeled capacity,
-      // where the > 1 point is the deliberate overload panel.
-      EXPECT_LE(panel, spec.name == "service" ? 2.0 : 1.0);
+      // where the > 1 point is the deliberate overload panel; the capacity
+      // scenario's panel is a written-lines footprint, bounded by a sane
+      // multiple of the HTM write capacity.
+      const double max_panel =
+          spec.name == "service" ? 2.0 : spec.name == "capacity" ? 1024.0 : 1.0;
+      EXPECT_LE(panel, max_panel);
     }
     EXPECT_GT(spec.default_ops, 0u);
     EXPECT_GE(spec.full_ops, spec.default_ops);
@@ -69,6 +73,12 @@ TEST(ScenarioRegistryTest, DefaultSchemesAreConstructible) {
     const std::vector<std::string> schemes =
         spec.default_schemes.empty() ? AllLockNames() : spec.default_schemes;
     for (const std::string& scheme : schemes) {
+      if (scheme == "rwle-chop") {
+        // A per-callsite ChoppedSection composition, not a factory scheme
+        // (README scheme-grammar note); the capacity scenario's run
+        // function handles the name itself.
+        continue;
+      }
       EXPECT_NE(MakeLock(scheme), nullptr) << scheme;
     }
   }

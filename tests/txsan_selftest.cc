@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "src/analysis/txsan.h"
+#include "src/chop/chopped_section.h"
 #include "src/common/thread_registry.h"
 #include "src/htm/htm_runtime.h"
 #include "src/memory/tx_var.h"
@@ -186,6 +187,66 @@ TEST_F(TxSanSelfTest, SkippedQuiescenceIsCaught) {
   ExpectDetected(Invariant::kCommitWithoutQuiescence);
 }
 
+// Injected bug 8: a chained piece commit writes its captured stores through
+// to real memory, exposing intermediate chain state before publication.
+TEST_F(TxSanSelfTest, ChainEagerPiecePublishIsCaught) {
+  const ScopedThreadSlot main_slot;
+  RwLeLock lock;
+  ChoppedSection chopped(lock);
+  TxVar<std::uint64_t> x;
+
+  Injection().chop_eager_piece_publish = true;
+  chopped.Write(2, [&x](std::size_t piece) {
+    if (piece == 0) {
+      x.Store(7);  // captured by the chain; (bug) also hits memory
+    }
+  });
+
+  ExpectDetected(Invariant::kSpeculativeVisible);
+}
+
+// Injected bug 9: chain publication skips one carryover entry, so the chain
+// commits torn -- part of its write set never reaches real memory.
+TEST_F(TxSanSelfTest, ChainDroppedPublishEntryIsCaught) {
+  const ScopedThreadSlot main_slot;
+  RwLeLock lock;
+  ChoppedSection chopped(lock);
+  TxVar<std::uint64_t> x;
+  TxVar<std::uint64_t> y;
+
+  Injection().chop_drop_publish_entry = true;
+  chopped.Write(2, [&](std::size_t piece) {
+    if (piece == 0) {
+      x.Store(1);
+    } else {
+      y.Store(2);
+    }
+  });
+
+  ExpectDetected(Invariant::kChainTornPublish);
+}
+
+// Injected bug 10: the chain publication window skips its (single, amortized)
+// quiescence barrier, so in-flight readers can straddle the publication.
+TEST_F(TxSanSelfTest, ChainSkippedQuiescenceIsCaught) {
+  const ScopedThreadSlot main_slot;
+  RwLeLock lock;
+  ChoppedSection chopped(lock);
+  TxVar<std::uint64_t> x;
+  TxVar<std::uint64_t> y;
+
+  Injection().skip_quiescence = true;
+  chopped.Write(2, [&](std::size_t piece) {
+    if (piece == 0) {
+      x.Store(1);
+    } else {
+      y.Store(2);
+    }
+  });
+
+  ExpectDetected(Invariant::kCommitWithoutQuiescence);
+}
+
 // Race detector: LoadDirect while a live foreign transaction holds the cell
 // in its write set is flagged even without any actual value corruption.
 TEST_F(TxSanSelfTest, DirectAccessDuringLiveTransactionIsCaught) {
@@ -295,6 +356,9 @@ struct SchedFaultCase {
   // (a fault can materialize as a downstream invariant, e.g. a leaked
   // speculative store that later aborts reads as an aborted write-back).
   std::vector<Invariant> accepted;
+  // Extra accepted failure signatures that are not invariant names -- faults
+  // whose only symptom is a wrong outcome surface as "verify-failed".
+  std::vector<std::string> accepted_signatures = {};
 };
 
 class TxSanSchedExploreTest : public TxSanSelfTest {
@@ -314,6 +378,9 @@ class TxSanSchedExploreTest : public TxSanSelfTest {
     bool accepted = false;
     for (const Invariant invariant : fault.accepted) {
       accepted |= result.failure == InvariantName(invariant);
+    }
+    for (const std::string& signature : fault.accepted_signatures) {
+      accepted |= result.failure == signature;
     }
     EXPECT_TRUE(accepted) << fault.name << " surfaced as '" << result.failure << "'";
 
@@ -365,6 +432,30 @@ TEST_F(TxSanSchedExploreTest, FindsUnmonitoredSuspend) {
 TEST_F(TxSanSchedExploreTest, FindsSkippedQuiescence) {
   ExploreAndReplay({"skip_quiescence", &HtmRuntime::FaultInjection::skip_quiescence,
                     "inc-elided", {Invariant::kCommitWithoutQuiescence}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsChopEagerPiecePublish) {
+  ExploreAndReplay({"chop_eager_piece_publish",
+                    &HtmRuntime::FaultInjection::chop_eager_piece_publish,
+                    "chop-torn-chain",
+                    {Invariant::kSpeculativeVisible, Invariant::kChainTornPublish}});
+}
+
+TEST_F(TxSanSchedExploreTest, FindsChopDroppedPublishEntry) {
+  ExploreAndReplay({"chop_drop_publish_entry",
+                    &HtmRuntime::FaultInjection::chop_drop_publish_entry,
+                    "chop-torn-chain",
+                    {Invariant::kChainTornPublish}});
+}
+
+// The stale-carryover bug has no invariant of its own: the restarted chain
+// double-applies an increment and the workload's post-condition catches it.
+TEST_F(TxSanSchedExploreTest, FindsChopKeptCarryoverOnUnwind) {
+  ExploreAndReplay({"chop_keep_carryover_on_unwind",
+                    &HtmRuntime::FaultInjection::chop_keep_carryover_on_unwind,
+                    "chop-piece-abort",
+                    {},
+                    {"verify-failed"}});
 }
 
 #endif  // RWLE_SCHED

@@ -4,6 +4,7 @@
 Usage:
     tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
                            [--abort-delta 10.0] [--require-complete]
+                           [--abort-delta-override SCHEME=PP ...]
 
 Both files must be the same kind of document (format_version 1):
 
@@ -138,6 +139,16 @@ def format_key(key):
     return f"{scenario}/{scheme} panel={panel:g} threads={threads}"
 
 
+def lookup_override(overrides, key, default):
+    """Resolves a per-run override: exact scenario/scheme match first, then
+    the bare scheme, then the scenario wildcard, then the global default."""
+    scenario, scheme = key[0], key[1]
+    for candidate in (f"{scenario}/{scheme}", scheme, f"{scenario}/*"):
+        if candidate in overrides:
+            return overrides[candidate]
+    return default
+
+
 def compare_perf(args, baseline_doc, current_doc):
     """Gates rwle_perf wall-clock documents; one-sided (slowdowns fail)."""
     baseline = load_perf_benches(baseline_doc, args.baseline)
@@ -215,6 +226,26 @@ def main():
         help="max abort-rate change in percentage points (default: 10.0)",
     )
     parser.add_argument(
+        "--abort-delta-override",
+        action="append",
+        default=[],
+        metavar="KEY=PP",
+        help="abort-delta override for KEY, which is a scheme "
+        "('rwle-chop'), a scenario/scheme pair ('capacity/hle'), or a "
+        "scenario wildcard ('capacity/*'); e.g. rwle-chop=101 exempts a "
+        "scheme whose abort rate is interleaving-dependent (repeatable)",
+    )
+    parser.add_argument(
+        "--threshold-override",
+        action="append",
+        default=[],
+        metavar="KEY=FRAC",
+        help="throughput-threshold override for KEY (same key forms as "
+        "--abort-delta-override), e.g. rwle-chop=0.9 for a scheme whose "
+        "modeled time is interleaving-dependent: still catches collapse "
+        "(a -100%% delta), ignores mid-size swings (repeatable)",
+    )
+    parser.add_argument(
         "--require-complete",
         action="store_true",
         help="also fail when either file has runs the other lacks",
@@ -222,6 +253,24 @@ def main():
     args = parser.parse_args()
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
+    def parse_overrides(pairs, flag):
+        overrides = {}
+        for override in pairs:
+            scheme, sep, value = override.partition("=")
+            if not sep or not scheme:
+                parser.error(f"{flag}: expected SCHEME=VALUE, got {override!r}")
+            try:
+                overrides[scheme] = float(value)
+            except ValueError:
+                parser.error(f"{flag}: bad value in {override!r}")
+        return overrides
+
+    abort_overrides = parse_overrides(
+        args.abort_delta_override, "--abort-delta-override"
+    )
+    threshold_overrides = parse_overrides(
+        args.threshold_override, "--threshold-override"
+    )
 
     baseline_doc = load_doc(args.baseline)
     current_doc = load_doc(args.current)
@@ -257,21 +306,23 @@ def main():
                 )
             continue
         delta = (cur_tp - base_tp) / base_tp
-        if abs(delta) > args.threshold:
+        threshold = lookup_override(threshold_overrides, key, args.threshold)
+        if abs(delta) > threshold:
             direction = "regressed" if delta < 0 else "improved"
             failures.append(
                 f"{format_key(key)}: modeled throughput {direction} "
                 f"{delta:+.1%} ({base_tp:.0f} -> {cur_tp:.0f} ops/s, "
-                f"threshold {args.threshold:.0%})"
+                f"threshold {threshold:.0%})"
             )
 
         abort_change = abort_rate_pct(cur_run) - abort_rate_pct(base_run)
-        if abs(abort_change) > args.abort_delta:
+        abort_delta = lookup_override(abort_overrides, key, args.abort_delta)
+        if abs(abort_change) > abort_delta:
             failures.append(
                 f"{format_key(key)}: abort rate changed {abort_change:+.1f}pp "
                 f"({abort_rate_pct(base_run):.1f}% -> "
                 f"{abort_rate_pct(cur_run):.1f}%, "
-                f"threshold {args.abort_delta:g}pp)"
+                f"threshold {abort_delta:g}pp)"
             )
 
     missing_current = sorted(set(baseline) - set(current))
