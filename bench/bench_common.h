@@ -34,6 +34,9 @@ struct BenchOptions {
   std::uint64_t total_ops = 0;
   std::vector<std::string> schemes;
   std::uint64_t seed = 42;
+  // Hardware profile name the driver applied globally via --hw; empty when
+  // running the default config (power8). Recorded in the run manifest.
+  std::string hw_profile;
   bool csv = false;
   bool full = false;
   bool analysis = false;

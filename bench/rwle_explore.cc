@@ -13,6 +13,7 @@
 
 #include "src/common/flags.h"
 #include "src/htm/htm_runtime.h"
+#include "src/htm/hw_profile.h"
 #include "src/sched/explore.h"
 #include "src/sched/litmus.h"
 #include "src/sched/schedule_trace.h"
@@ -31,6 +32,30 @@ int ListWorkloads() {
                 spec.intentionally_buggy ? "yes" : "no", spec.description);
   }
   return 0;
+}
+
+int ListHwProfiles() {
+  std::printf("%-16s %s\n", "profile", "description");
+  for (const HwProfile& profile : AllHwProfiles()) {
+    std::printf("%-16s %s\n", profile.name.c_str(), profile.description.c_str());
+  }
+  return 0;
+}
+
+// Applies the named hardware profile to the global runtime. Empty = keep the
+// default (power8). Returns false (after printing) on an unknown name.
+bool ApplyHwProfile(const std::string& name) {
+  if (name.empty()) {
+    return true;
+  }
+  const HwProfile* profile = FindHwProfile(name);
+  if (profile == nullptr) {
+    std::fprintf(stderr, "rwle_explore: unknown hardware profile '%s' (see --list-hw)\n",
+                 name.c_str());
+    return false;
+  }
+  HtmRuntime::Global().set_config(profile->config);
+  return true;
 }
 
 bool ApplyInjection(const std::string& knob) {
@@ -83,6 +108,11 @@ int RunReplay(const std::string& path) {
                  trace.workload.c_str());
     return 2;
   }
+  // The trace records the hardware profile it was found under; re-apply it
+  // so the repro is self-contained (no --hw needed on the replay side).
+  if (!ApplyHwProfile(trace.hw)) {
+    return 2;
+  }
   std::string failure;
   const ScheduleTrace replayed = Replay(*spec, trace, &failure);
   const bool hash_match = replayed.Hash() == trace.Hash();
@@ -121,6 +151,8 @@ int Main(int argc, char** argv) {
   bool shrink = true;
   std::string replay_path;
   std::string inject;
+  std::string hw;
+  bool list_hw = false;
   std::string out = "rwle_explore_repro.trace";
 
   FlagSet flags(
@@ -143,6 +175,9 @@ int Main(int argc, char** argv) {
   flags.AddString("inject", &inject,
                   "enable one fault-injection knob (analysis builds), e.g. "
                   "skip-quiescence, drop-write-back-entry");
+  flags.AddString("hw", &hw,
+                  "hardware profile to explore under (default: power8; see --list-hw)");
+  flags.AddBool("list-hw", &list_hw, "print the hardware-profile table and exit");
   flags.AddString("out", &out, "where to write the failing trace");
 
   for (int i = 1; i < argc; ++i) {
@@ -171,11 +206,17 @@ int Main(int argc, char** argv) {
   if (list_workloads) {
     return ListWorkloads();
   }
+  if (list_hw) {
+    return ListHwProfiles();
+  }
   if (!inject.empty() && !ApplyInjection(inject)) {
     return 2;
   }
   if (!replay_path.empty()) {
     return RunReplay(replay_path);
+  }
+  if (!ApplyHwProfile(hw)) {
+    return 2;
   }
   if (MakeStrategy(strategy, seed, static_cast<std::uint32_t>(pct_depth),
                    static_cast<std::uint32_t>(dfs_max_depth)) == nullptr) {
@@ -226,6 +267,7 @@ int Main(int argc, char** argv) {
       trace = Shrink(*spec, trace, result.failure, shrink_budget);
       std::printf("%-14s shrunk to %zu branch decisions\n", spec->name, trace.steps.size());
     }
+    trace.hw = hw;  // stamp the profile so --replay self-configures
     if (!WriteTraceFile(out, trace)) {
       std::fprintf(stderr, "rwle_explore: cannot write trace to %s\n", out.c_str());
     } else {

@@ -17,6 +17,7 @@ void RegisterAllScenarios() {
     registry.Register(ServiceScenario());
     registry.Register(FallbackScenario());
     registry.Register(CapacityScenario());
+    registry.Register(PortabilityScenario());
     return true;
   }();
   (void)registered;

@@ -19,6 +19,7 @@ ScenarioSpec AblationScenario();  // §3.3 design-knob ablations
 ScenarioSpec ServiceScenario();   // open-loop Poisson/Zipf service study
 ScenarioSpec FallbackScenario();  // centralized vs BRAVO fallback crossover
 ScenarioSpec CapacityScenario();  // footprint sweep past HTM capacity (chop)
+ScenarioSpec PortabilityScenario();  // scheme x hardware-profile torn-pair matrix
 
 // Registers every scenario above in ScenarioRegistry::Global(), in paper
 // order. Idempotent: safe to call from multiple entry points.

@@ -16,6 +16,7 @@
 #include "src/harness/result_serializer.h"
 #include "src/harness/result_sink.h"
 #include "src/htm/htm_runtime.h"
+#include "src/htm/hw_profile.h"
 #include "src/memory/paging_model.h"
 #include "src/trace/trace_export.h"
 #include "src/trace/trace_sink.h"
@@ -84,6 +85,7 @@ RunManifest BuildManifest(const ScenarioSpec& spec, const BenchOptions& options,
   manifest.seed = options.seed;
   manifest.full_sweep = options.full;
   manifest.htm_config = HtmRuntime::Global().config();
+  manifest.hw_profile = options.hw_profile;
   manifest.git_sha = BuildGitSha();
   manifest.created_unix = NowUnixSeconds();
   return manifest;
@@ -101,6 +103,8 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   std::uint64_t ops = 0;
   std::string schemes_flag;
   std::uint64_t seed = 42;
+  std::string hw;
+  bool list_hw = false;
   bool csv = false;
   bool full = false;
   bool analysis = false;
@@ -137,6 +141,11 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   flags.AddString("schemes", &schemes_flag,
                   "comma-separated scheme names (default: the scenario's set)");
   flags.AddUint("seed", &seed, "base RNG seed (each run uses seed + threads)");
+  flags.AddString("hw", &hw,
+                  "hardware profile for the whole invocation "
+                  "(default: power8; see --list-hw)");
+  flags.AddBool("list-hw", &list_hw,
+                "print the hardware-profile table and exit");
   flags.AddBool("csv", &csv, "emit CSV instead of ASCII tables");
   flags.AddBool("full", &full, "paper-scale sweep (more threads and ops)");
   flags.AddBool("analysis", &analysis,
@@ -182,6 +191,22 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
     PrintSchemeList();
     return 0;
   }
+  if (list_hw) {
+    std::printf("Hardware profiles accepted by --hw (src/htm/hw_profile.h):\n\n");
+    for (const HwProfile& profile : AllHwProfiles()) {
+      std::printf("  %-16s %s\n", profile.name.c_str(), profile.description.c_str());
+    }
+    return 0;
+  }
+  if (!hw.empty()) {
+    const HwProfile* profile = FindHwProfile(hw);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "unknown hardware profile: %s (try --list-hw)\n",
+                   hw.c_str());
+      return 1;
+    }
+    HtmRuntime::Global().set_config(profile->config);
+  }
 
   BenchOptions options;
   // --full upgrades the thread sweep unless the user pinned --threads.
@@ -196,6 +221,7 @@ int BenchMain(int argc, char** argv, const char* forced_scenario) {
   options.total_ops = ops;  // resolved per scenario below
   options.schemes = SplitCommaList(schemes_flag);
   options.seed = seed;
+  options.hw_profile = hw;
   options.csv = csv;
   options.full = full;
   options.analysis = analysis;

@@ -441,6 +441,9 @@ void TxSan::CheckWriteSetMonitoredLocked(int tid, const char* where) {
   }
   const OwnerToken token = MakeOwnerToken(state.slot, StatusEpoch(status));
   for (const auto& [cell, mirror] : state.tx_writes) {
+    if (mirror.untracked) {
+      continue;  // limited tracking: the line was never claimed (modeled)
+    }
     ConflictTable::LineSlot& line = runtime_->conflict_table().SlotFor(cell);
     if (line.writer.load() != token) {
       ViolationLocked(Invariant::kSuspendedUnmonitored, tid,
@@ -529,21 +532,34 @@ void TxSan::OnTxCommitting(std::uint32_t slot) {
 
   // Requester-wins validation: a transaction that reaches COMMITTING must
   // not have had its footprint overwritten -- any conflicting committed
-  // store should have doomed it first.
-  for (const auto& [cell, version] : state.tx_reads) {
-    const auto it = shadow_.find(cell);
-    if (it != shadow_.end() && it->second.version != version &&
-        it->second.last_writer != tid) {
-      ViolationLocked(Invariant::kConflictNotDoomed, tid,
-                      "read-set cell " + CellName(cell) +
-                          " was overwritten (shadow version " +
-                          std::to_string(it->second.version) + " != " +
-                          std::to_string(version) +
-                          " at first read) yet the transaction was not doomed");
-      break;
+  // store should have doomed it first. The read-set leg is specific to
+  // requester-wins: under committer-wins two transactions may legally race
+  // to COMMITTING (the commit-time reader scan skips committing readers, so
+  // a reader that wins the race serializes *before* the writer), and the
+  // mutex-serialized shadow versions cannot distinguish that legal order
+  // from a lost doom.
+  const bool requester_wins =
+      runtime_ == nullptr ||
+      runtime_->config().resolution == ResolutionPolicy::kRequesterWins;
+  if (requester_wins) {
+    for (const auto& [cell, version] : state.tx_reads) {
+      const auto it = shadow_.find(cell);
+      if (it != shadow_.end() && it->second.version != version &&
+          it->second.last_writer != tid) {
+        ViolationLocked(Invariant::kConflictNotDoomed, tid,
+                        "read-set cell " + CellName(cell) +
+                            " was overwritten (shadow version " +
+                            std::to_string(it->second.version) + " != " +
+                            std::to_string(version) +
+                            " at first read) yet the transaction was not doomed");
+        break;
+      }
     }
   }
   for (const auto& [cell, mirror] : state.tx_writes) {
+    if (mirror.untracked) {
+      continue;  // limited tracking: conflicts on this line go undetected
+    }
     const auto it = shadow_.find(cell);
     if (it != shadow_.end() && it->second.version != mirror.version_at_claim &&
         it->second.last_writer != tid) {
@@ -658,7 +674,7 @@ void TxSan::OnTxResume(std::uint32_t slot) {
 }
 
 void TxSan::OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
-                               std::uint64_t value) {
+                               std::uint64_t value, bool tracked) {
   std::lock_guard<std::mutex> lock(mu_);
   events_observed_.fetch_add(1, std::memory_order_relaxed);  // relaxed: counter
   const int tid = TidLocked();
@@ -669,11 +685,12 @@ void TxSan::OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* c
   PreEventLocked(tid);
   CellShadow& shadow = shadow_[cell];
   const auto [it, inserted] =
-      state.tx_writes.try_emplace(cell, TxWriteMirror{value, shadow.version, false});
+      state.tx_writes.try_emplace(cell, TxWriteMirror{value, shadow.version, false, !tracked});
   if (!inserted) {
     it->second.value = value;
     it->second.written_back = false;
   } else {
+    it->second.untracked = !tracked;
     AddTid(shadow.spec_writers, tid);
   }
   RecordEventLocked(tid, "spec-store", cell, value);

@@ -114,7 +114,7 @@ class TxSan final : public FabricObserver {
   void OnTxSuspend(std::uint32_t slot) override;
   void OnTxResume(std::uint32_t slot) override;
   void OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
-                          std::uint64_t value) override;
+                          std::uint64_t value, bool tracked) override;
   void OnBufferedLoad(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
                       std::uint64_t value) override;
   std::uint64_t ObservedLoad(FabricAccess access, std::uint32_t slot,
@@ -148,6 +148,10 @@ class TxSan final : public FabricObserver {
     std::uint64_t value = 0;
     std::uint64_t version_at_claim = 0;
     bool written_back = false;
+    // Limited tracking left the line unclaimed (FabricObserver's `tracked`
+    // was false): the entry is exempt from the ownership and version
+    // checks -- losing conflicts on it is modeled hardware behavior.
+    bool untracked = false;
   };
 
   struct ThreadState {

@@ -40,6 +40,9 @@ struct RunResult {
   // Open-loop service measurement; populated only by RunServiceBenchmark
   // (arrivals == 0 otherwise, and the serializer omits the block).
   ServiceSnapshot service;
+  // Hardware-portability measurement; populated only by the portability
+  // scenario (empty hw_profile otherwise, and the serializer omits it).
+  PortabilitySnapshot portability;
 
   double ModeledThroughput() const {
     return modeled_seconds > 0 ? static_cast<double>(total_ops) / modeled_seconds : 0.0;

@@ -37,7 +37,19 @@ void WriteManifest(JsonWriter& json, const RunManifest& manifest) {
   json.Field("max_write_lines", std::uint64_t{manifest.htm_config.max_write_lines});
   json.Field("yield_access_period",
              std::uint64_t{manifest.htm_config.yield_access_period});
+  json.Field("subscription", manifest.htm_config.subscription == SubscriptionPolicy::kLazy
+                                 ? "lazy"
+                                 : "eager");
+  json.Field("resolution",
+             manifest.htm_config.resolution == ResolutionPolicy::kCommitterWins
+                 ? "committer-wins"
+                 : "requester-wins");
+  json.Field("tracked_read_lines",
+             std::uint64_t{manifest.htm_config.tracked_read_lines});
+  json.Field("tracked_write_lines",
+             std::uint64_t{manifest.htm_config.tracked_write_lines});
   json.EndObject();
+  json.Field("hw_profile", manifest.hw_profile);
   json.Field("git_sha", manifest.git_sha);
   json.Field("created_unix", manifest.created_unix);
   json.EndObject();
@@ -125,6 +137,21 @@ void WriteService(JsonWriter& json, const ServiceSnapshot& service) {
   json.EndObject();
 }
 
+// Portability-matrix block: the hardware profile this cell ran under plus
+// the workload's torn-pair counters (PortabilitySnapshot, stats.h). Omitted
+// for runs outside the portability scenario (empty profile name).
+void WritePortability(JsonWriter& json, const PortabilitySnapshot& portability) {
+  if (portability.hw_profile.empty()) {
+    return;
+  }
+  json.Key("portability");
+  json.BeginObject();
+  json.Field("hw_profile", portability.hw_profile);
+  json.Field("torn_observed", portability.torn_observed);
+  json.Field("torn_committed", portability.torn_committed);
+  json.EndObject();
+}
+
 // BRAVO bias / revocation counters; omitted for schemes without a BRAVO
 // component (all counters zero).
 void WriteBravo(JsonWriter& json, const BravoBreakdown& bravo) {
@@ -166,6 +193,7 @@ void WriteEntry(JsonWriter& json, const JsonResultSink::Entry& entry) {
   WriteChop(json, snapshot.chop);
   WriteLatency(json, result.latency);
   WriteService(json, result.service);
+  WritePortability(json, result.portability);
   json.EndObject();
 }
 

@@ -38,6 +38,11 @@ struct RunManifest {
   std::uint64_t seed = 0;  // base seed; each run uses seed + threads
   bool full_sweep = false;
   HtmConfig htm_config;
+  // Named hardware profile the whole invocation ran under (--hw); empty
+  // means the default config above was used as-is. The portability scenario
+  // overrides the config per cell and names the profile per result entry
+  // instead (the "portability" block), so this stays empty there.
+  std::string hw_profile;
   std::string git_sha;           // build-time SHA, "unknown" outside a checkout
   std::int64_t created_unix = 0; // seconds since epoch, 0 if unavailable
 };

@@ -29,6 +29,10 @@ enum class FabricAccess : std::uint8_t {
   kTxHtm = 1,   // transactional access by an HTM transaction
   kTxRot = 2,   // transactional access by a rollback-only transaction
   kDirect = 3,  // TxVar LoadDirect / StoreDirect
+  // HTM load beyond the limited-tracking bound (tracked_read_lines): no
+  // reader bit, invisible to conflict detection. Modeled hardware
+  // behavior (FORTH), so txsan must not mirror it into the read set.
+  kTxHtmUntracked = 4,
 };
 
 class FabricObserver {
@@ -46,9 +50,12 @@ class FabricObserver {
   virtual void OnTxSuspend(std::uint32_t slot) = 0;
   virtual void OnTxResume(std::uint32_t slot) = 0;
 
-  // A transactional store was buffered (no memory write happens).
+  // A transactional store was buffered (no memory write happens). `tracked`
+  // is false when limited tracking left the line unclaimed (FORTH model):
+  // the entry will be written back at commit without ever having been
+  // monitored, which txsan must model rather than flag.
   virtual void OnSpeculativeStore(std::uint32_t slot, std::atomic<std::uint64_t>* cell,
-                                  std::uint64_t value) = 0;
+                                  std::uint64_t value, bool tracked) = 0;
   // A load was satisfied from the thread's own write buffer (read-own-writes
   // or a suspended escape read of an own speculative cell).
   virtual void OnBufferedLoad(std::uint32_t slot, std::atomic<std::uint64_t>* cell,

@@ -1,16 +1,49 @@
-// Configuration of the simulated HTM facility.
+// Configuration of the simulated TM facility.
 //
-// POWER8's TM facility tracks roughly 8KB of loads and 8KB of stores in the
-// L2 (64 lines of 128 bytes each way). The defaults below are calibrated so
-// that the paper's evaluation scenarios reproduce their abort profiles (see
-// DESIGN.md §3 and EXPERIMENTS.md); both limits are per-transaction and
-// counted in distinct cache lines.
+// The defaults model POWER8: its TM facility tracks roughly 8KB of loads and
+// 8KB of stores in the L2 (64 lines of 128 bytes each way), detects conflicts
+// eagerly, and resolves them requester-wins. The defaults below are
+// calibrated so that the paper's evaluation scenarios reproduce their abort
+// profiles (see DESIGN.md §3 and EXPERIMENTS.md); both limits are
+// per-transaction and counted in distinct cache lines.
+//
+// The remaining fields generalize the facility into a *family* of TM models
+// (DESIGN.md §15, PORTABILITY.md): subscription policy for the HLE scheme,
+// conflict-resolution policy, and FORTH-style limited read/write-set
+// tracking. Named bundles of these axes live in src/htm/hw_profile.h.
 #ifndef RWLE_SRC_HTM_HTM_CONFIG_H_
 #define RWLE_SRC_HTM_HTM_CONFIG_H_
 
 #include <cstdint>
 
 namespace rwle {
+
+// When the HLE scheme's speculative path subscribes to the fallback lock.
+// Eager (POWER8, and what correct software HLE must do) reads the lock word
+// transactionally right after TxBegin, so a later lock acquisition dooms the
+// transaction before it can observe the lock holder's partial writes. Lazy
+// defers the subscription to just before commit -- cheaper when the lock is
+// rarely taken, but unsafe without hardware help (Dice et al., "Hardware
+// extensions to make lazy subscription safe"): the transaction runs as a
+// zombie over the lock holder's torn state until the commit-time check.
+enum class SubscriptionPolicy : std::uint8_t {
+  kEager = 0,
+  kLazy = 1,
+};
+
+// Who survives a fabric conflict between a transactional line owner/reader
+// and a conflicting access. Requester-wins (POWER8): the incoming access
+// dooms the transactional owner and proceeds. Committer-wins: transactional
+// ownership is not disturbed by incoming *transactional* requesters -- the
+// requester reads the pre-speculative backing value (loads) or self-aborts
+// (stores), and readers of a written line are doomed only when the owner
+// actually commits. Non-transactional accesses still invalidate eagerly in
+// both modes: strong isolation comes from the fabric, not from the
+// resolution policy.
+enum class ResolutionPolicy : std::uint8_t {
+  kRequesterWins = 0,
+  kCommitterWins = 1,
+};
 
 struct HtmConfig {
   // Maximum distinct cache lines a regular transaction may load before a
@@ -26,6 +59,25 @@ struct HtmConfig {
   // (without it, short transactions on a 1-CPU host almost never coexist,
   // and conflict-driven behaviour disappears). 0 disables.
   std::uint32_t yield_access_period = 64;
+
+  // Fallback-lock subscription timing for the HLE scheme (HLE only; RW-LE
+  // subscribes through its own lock-word loads and ignores this).
+  SubscriptionPolicy subscription = SubscriptionPolicy::kEager;
+
+  // Conflict-resolution policy for tx-vs-tx fabric conflicts.
+  ResolutionPolicy resolution = ResolutionPolicy::kRequesterWins;
+
+  // FORTH-style limited read/write-set tracking: only the first K distinct
+  // lines a transaction touches are conflict-tracked; accesses beyond K are
+  // *invisible to conflict detection* (no reader bit, no line ownership)
+  // rather than aborting. 0 = full tracking up to the capacity limits
+  // above. When nonzero, the corresponding capacity abort is disabled --
+  // the facility silently stops tracking instead, which is exactly the
+  // hazard the portability matrix demonstrates. Buffered stores beyond K
+  // are still written back on commit; they are just undetectable by
+  // concurrent readers until then.
+  std::uint32_t tracked_read_lines = 0;
+  std::uint32_t tracked_write_lines = 0;
 };
 
 }  // namespace rwle

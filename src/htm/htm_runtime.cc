@@ -98,6 +98,17 @@ void HtmRuntime::TxCommit() {
   // Aggregate-store write-back: conflicting accesses observe COMMITTING and
   // wait, so the buffer publishes all-or-nothing.
   RWLE_TXSAN_HOOK(*this, OnTxCommitting(ctx->thread_slot_));
+  if (config_.resolution == ResolutionPolicy::kCommitterWins) {
+    // Committer-wins defers reader invalidation from claim time to the
+    // commit point: only now that this transaction is certain to commit do
+    // its stores invalidate concurrent readers' monitors. Before the
+    // write-back, so no doomed reader can observe a half-published buffer
+    // and survive to commit; a reader that publishes its bit after this
+    // scan self-aborts in TxLoad's post-bit owner re-check.
+    for (const std::uint32_t index : ctx->owned_line_indices_) {
+      DoomReaders(table_.SlotAt(index), ctx->thread_slot_, AbortCause::kConflictTx);
+    }
+  }
 #ifdef RWLE_ANALYSIS
   bool dropped_one = false;
 #endif
@@ -195,7 +206,11 @@ void HtmRuntime::TxCommitChained(TxWriteSet& carryover) {
   // chain's carryover set and never reach memory, so readers keep observing
   // pre-chain state. A conflicting access that lost the COMMITTING race
   // waits exactly as for TxCommit and then reads the (unchanged) backing
-  // value -- intermediate chain state stays invisible.
+  // value -- intermediate chain state stays invisible. Committer-wins needs
+  // no deferred reader invalidation here: a capture publishes nothing, so
+  // concurrent readers' observations of the backing values stay valid; the
+  // chain's eventual NS publication dooms readers through the plain store
+  // path, which is eager under every resolution policy.
   RWLE_TXSAN_HOOK(*this, OnTxCommitting(ctx->thread_slot_));
   for (const TxWriteSet::Entry& entry : ctx->write_buffer_) {
     carryover.Put(entry.cell, entry.value);
@@ -591,11 +606,24 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
   ConflictTable::LineSlot& slot = table_.SlotAt(index);
   const OwnerToken my_token = ctx.CurrentToken();
 
-  // Resolve a conflicting write owner (requester wins).
+  // Resolve a conflicting write owner per the resolution policy.
   std::uint32_t spins = 0;
   for (;;) {
     const OwnerToken token = slot.writer.load();
     if (token == 0 || token == my_token) {
+      break;
+    }
+    if (config_.resolution == ResolutionPolicy::kCommitterWins) {
+      // Committer-wins: a live owner keeps its line. Its stores are still
+      // buffered, so the backing value is the consistent pre-speculative
+      // one and the load may proceed; the conflict resolves at the owner's
+      // commit (its commit-time reader scan dooms us). Only a write-back in
+      // flight must be waited out so it is never observed half-done.
+      if (OwnerCommitting(token)) {
+        WaitWhileCommitting(token);
+        SpinBackoff(spins++);
+        continue;
+      }
       break;
     }
     if (TryDoomOwner(token, AbortCause::kConflictTx) == DoomOutcome::kCommitting) {
@@ -613,19 +641,39 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
   // Injected bug: ROT loads take read-set entries like HTM loads.
   track_reads = track_reads || fault_injection_.rot_tracks_reads;
 #endif
+  bool tracked_line = false;
   if (track_reads) {
-    if (!ConflictTable::TestReaderBit(slot, ctx.thread_slot_)) {
+    if (ConflictTable::TestReaderBit(slot, ctx.thread_slot_)) {
+      tracked_line = true;
+    } else if (config_.tracked_read_lines != 0 &&
+               ctx.read_line_indices_.size() >= config_.tracked_read_lines) {
+      // Limited tracking (FORTH model): read line K+1 and beyond is not
+      // conflict-tracked. No reader bit, no capacity abort -- the facility
+      // silently stops detecting, so a concurrent writer of this line can
+      // commit without dooming us. That lost conflict is the modeled
+      // hazard the portability matrix demonstrates, not a simulator race.
+    } else {
       if (ctx.read_line_indices_.size() >= config_.max_read_lines) {
         AbortSelf(ctx, AbortCause::kCapacityRead);  // throws
       }
       ConflictTable::SetReaderBit(slot, ctx.thread_slot_);
       ctx.read_line_indices_.push_back(index);
+      tracked_line = true;
       // Close the race window: a writer that claimed the line between our
-      // owner check and our bit publication scanned reader bits before we
-      // set ours, so neither side would notice the conflict. Re-check.
+      // owner check and our bit publication scanned reader bits (at claim
+      // time or, under committer-wins, at commit time) before we set ours,
+      // so neither side would notice the conflict. Re-check.
       const OwnerToken token = slot.writer.load();
       if (token != 0 && token != my_token) {
-        if (TryDoomOwner(token, AbortCause::kConflictTx) == DoomOutcome::kCommitting) {
+        if (config_.resolution == ResolutionPolicy::kCommitterWins) {
+          // The owner keeps its line; if it is already committing, its
+          // reader scan may have passed before our bit published, so the
+          // requester loses -- the committer-wins rule applied to us.
+          if (OwnerCommitting(token)) {
+            AbortSelf(ctx, AbortCause::kConflictTx);  // throws
+          }
+        } else if (TryDoomOwner(token, AbortCause::kConflictTx) ==
+                   DoomOutcome::kCommitting) {
           WaitWhileCommitting(token);
         }
       }
@@ -633,9 +681,16 @@ std::uint64_t HtmRuntime::TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cel
   }
   // ROT loads are untracked: no reader bit, no capacity, no re-check. A
   // writer that claims the line after our owner check goes unnoticed --
-  // exactly the weaker ROT semantics the paper builds on.
-  return FabricLoad(ctx.kind_ == TxKind::kRot ? FabricAccess::kTxRot : FabricAccess::kTxHtm,
-                    ctx.thread_slot_, cell);
+  // exactly the weaker ROT semantics the paper builds on. Limited-tracking
+  // HTM loads beyond K behave the same way, and report the dedicated
+  // untracked access kind so txsan models them instead of flagging them.
+  FabricAccess access = FabricAccess::kTxHtm;
+  if (ctx.kind_ == TxKind::kRot) {
+    access = FabricAccess::kTxRot;
+  } else if (!tracked_line) {
+    access = FabricAccess::kTxHtmUntracked;
+  }
+  return FabricLoad(access, ctx.thread_slot_, cell);
 }
 
 std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* cell) {
@@ -673,7 +728,7 @@ std::uint64_t HtmRuntime::NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* 
   }
 }
 
-void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell) {
+bool HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell) {
   // Hash once; the index is also the write-set log entry (see TxLoad).
   const std::uint32_t index = table_.IndexFor(cell);
   ConflictTable::LineSlot& slot = table_.SlotAt(index);
@@ -683,23 +738,50 @@ void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* c
   for (;;) {
     OwnerToken current = slot.writer.load();
     if (current == my_token) {
-      return;  // already own this line
+      return true;  // already own this line
+    }
+    // Limited tracking (FORTH model): write line K+1 and beyond is not
+    // claimed at all. The store stays in the buffer (written back at
+    // commit) but the line carries no ownership, so neither a conflicting
+    // writer nor a reader of the line can detect this transaction -- the
+    // modeled hazard, in place of a capacity abort.
+    if (config_.tracked_write_lines != 0 &&
+        ctx.owned_line_indices_.size() >= config_.tracked_write_lines) {
+      return false;
     }
     if (current != 0) {
-      switch (TryDoomOwner(current, AbortCause::kConflictTx)) {
-        case DoomOutcome::kCommitting:
+      if (config_.resolution == ResolutionPolicy::kCommitterWins) {
+        if (OwnerCommitting(current)) {
           WaitWhileCommitting(current);
           SpinBackoff(spins++);
           continue;
-        case DoomOutcome::kDoomed:
-        case DoomOutcome::kAlreadyDoomed:
-        case DoomOutcome::kGone:
-          // Take over the dead owner's field directly.
-          if (!slot.writer.compare_exchange_strong(current, my_token)) {
+        }
+        if (OwnerLive(current)) {
+          // Committer-wins: the incumbent owner keeps the line and the
+          // requester loses -- self-abort instead of dooming it.
+          AbortSelf(ctx, AbortCause::kConflictTx);  // throws
+        }
+        // Dead or stale owner: take over its field directly.
+        if (!slot.writer.compare_exchange_strong(current, my_token)) {
+          SpinBackoff(spins++);
+          continue;
+        }
+      } else {
+        switch (TryDoomOwner(current, AbortCause::kConflictTx)) {
+          case DoomOutcome::kCommitting:
+            WaitWhileCommitting(current);
             SpinBackoff(spins++);
             continue;
-          }
-          break;
+          case DoomOutcome::kDoomed:
+          case DoomOutcome::kAlreadyDoomed:
+          case DoomOutcome::kGone:
+            // Take over the dead owner's field directly.
+            if (!slot.writer.compare_exchange_strong(current, my_token)) {
+              SpinBackoff(spins++);
+              continue;
+            }
+            break;
+        }
       }
     } else if (!slot.writer.compare_exchange_strong(current, my_token)) {
       SpinBackoff(spins++);
@@ -707,21 +789,26 @@ void HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* c
     }
 
     // Newly claimed: account capacity, then kill all transactional readers
-    // of this line (a store invalidates their read monitors).
+    // of this line (a store invalidates their read monitors). Under
+    // committer-wins the kill is deferred to TxCommit -- a doomed-on-claim
+    // reader would contradict "the requester yields to live owners".
     ctx.owned_line_indices_.push_back(index);
     if (ctx.owned_line_indices_.size() > config_.max_write_lines) {
       AbortSelf(ctx, AbortCause::kCapacityWrite);  // throws; line released in cleanup
     }
-    DoomReaders(slot, ctx.thread_slot_, AbortCause::kConflictTx);
-    return;
+    if (config_.resolution == ResolutionPolicy::kRequesterWins) {
+      DoomReaders(slot, ctx.thread_slot_, AbortCause::kConflictTx);
+    }
+    return true;
   }
 }
 
 void HtmRuntime::TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value) {
   ThrowIfDoomed(ctx);
-  ClaimLineForWrite(ctx, cell);
+  const bool tracked = ClaimLineForWrite(ctx, cell);
   ctx.write_buffer_.Put(cell, value);
-  RWLE_TXSAN_HOOK(*this, OnSpeculativeStore(ctx.thread_slot_, cell, value));
+  RWLE_TXSAN_HOOK(*this, OnSpeculativeStore(ctx.thread_slot_, cell, value, tracked));
+  (void)tracked;  // consumed only by the txsan hook in analysis builds
 #ifdef RWLE_ANALYSIS
   if (fault_injection_.leak_speculative_store) {
     // Injected bug: the speculative store writes through to real memory,

@@ -4,10 +4,21 @@
 // the cache-coherence protocol: it is how an *uninstrumented* reader's load
 // dooms a conflicting (possibly suspended) writer transaction.
 //
-// Concurrency protocol summary (full argument in DESIGN.md §3):
-//  - Requester wins: any access that hits another transaction's write set
-//    dooms that transaction; any store that hits a transaction's read set
-//    dooms the reader transaction.
+// Concurrency protocol summary (full argument in DESIGN.md §3; the
+// configurable deviations below are specified in DESIGN.md §15):
+//  - Requester wins (default): any access that hits another transaction's
+//    write set dooms that transaction; any store that hits a transaction's
+//    read set dooms the reader transaction. Under
+//    ResolutionPolicy::kCommitterWins, tx-vs-tx conflicts instead resolve
+//    for the current line owner: a transactional load of an owned line
+//    reads the backing value (and is doomed when the owner commits), a
+//    transactional store to an owned line self-aborts, and reader
+//    invalidation is deferred from claim time to the owner's commit point.
+//    Non-transactional accesses doom eagerly in both modes.
+//  - With HtmConfig::tracked_{read,write}_lines = K > 0, only a
+//    transaction's first K distinct lines per set are conflict-tracked;
+//    accesses beyond K are invisible to detection (FORTH limited-tracking
+//    model) instead of aborting on capacity.
 //  - Commit is aggregate-store: phase ACTIVE -> COMMITTING wins the race
 //    against doomers; accesses that lose wait for write-back to finish, so
 //    they observe all of the transaction's stores or none.
@@ -233,14 +244,31 @@ class HtmRuntime {
                    AbortCause cause);
   void WaitWhileCommitting(OwnerToken token);
 
+  // Non-dooming owner probes for the committer-wins resolution policy,
+  // which must inspect an owner's state without disturbing it.
+  bool OwnerCommitting(OwnerToken token) {
+    const std::uint64_t status = contexts_[OwnerTokenSlot(token)].status_.load();
+    return StatusEpoch(status) == OwnerTokenEpoch(token) &&
+           StatusPhase(status) == TxPhase::kCommitting;
+  }
+  bool OwnerLive(OwnerToken token) {
+    const std::uint64_t status = contexts_[OwnerTokenSlot(token)].status_.load();
+    const TxPhase phase = StatusPhase(status);
+    return StatusEpoch(status) == OwnerTokenEpoch(token) &&
+           (phase == TxPhase::kActive || phase == TxPhase::kSuspended);
+  }
+
   std::uint64_t TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cell);
   std::uint64_t NonTxLoad(TxContext* ctx, std::atomic<std::uint64_t>* cell);
   void TxStore(TxContext& ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value);
   void NonTxStore(TxContext* ctx, std::atomic<std::uint64_t>* cell, std::uint64_t value);
 
-  // Claims write ownership of the cell's line for ctx (dooming conflicting
-  // transactions) and records it in the write set.
-  void ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell);
+  // Claims write ownership of the cell's line for ctx (resolving
+  // conflicting transactions per the resolution policy) and records it in
+  // the write set. Returns false if limited tracking left the line
+  // *untracked* (FORTH model: the store is buffered and written back, but
+  // invisible to conflict detection until then).
+  bool ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* cell);
 
   // Throws (after cleanup) if ctx has been doomed by another thread.
   void ThrowIfDoomed(TxContext& ctx);

@@ -1,0 +1,67 @@
+#include "src/htm/hw_profile.h"
+
+namespace rwle {
+namespace {
+
+HtmConfig Power8() { return HtmConfig{}; }
+
+HtmConfig LazyHle() {
+  HtmConfig config;
+  config.subscription = SubscriptionPolicy::kLazy;
+  return config;
+}
+
+HtmConfig CommitterWins() {
+  HtmConfig config;
+  config.resolution = ResolutionPolicy::kCommitterWins;
+  return config;
+}
+
+HtmConfig LimitedK() {
+  HtmConfig config;
+  config.tracked_read_lines = 16;
+  config.tracked_write_lines = 16;
+  return config;
+}
+
+HtmConfig LazyLimited() {
+  HtmConfig config;
+  config.subscription = SubscriptionPolicy::kLazy;
+  config.tracked_read_lines = 16;
+  config.tracked_write_lines = 16;
+  return config;
+}
+
+}  // namespace
+
+const std::vector<HwProfile>& AllHwProfiles() {
+  static const std::vector<HwProfile> profiles = {
+      {"power8",
+       "eager subscription, requester-wins, full tracking (the paper's machine)",
+       Power8()},
+      {"lazy-hle",
+       "HLE subscribes to the fallback lock at commit time (unsafe: zombie reads)",
+       LazyHle()},
+      {"committer-wins",
+       "tx-vs-tx conflicts resolved for the current owner; readers doomed at commit",
+       CommitterWins()},
+      {"limited-k",
+       "FORTH-style: only the first 16 read/write lines are conflict-tracked",
+       LimitedK()},
+      {"lazy-limited",
+       "lazy subscription combined with 16-line limited tracking (worst case)",
+       LazyLimited()},
+  };
+  return profiles;
+}
+
+const HwProfile* FindHwProfile(const std::string& name) {
+  for (const HwProfile& profile : AllHwProfiles()) {
+    if (name == profile.name) {
+      return &profile;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rwle

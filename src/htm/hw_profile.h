@@ -1,0 +1,31 @@
+// Named hardware profiles: preset HtmConfig bundles that make the simulated
+// TM facility behave like a specific (real or hypothetical) machine. The
+// drivers expose them as --hw=<name>; PORTABILITY.md is the matrix of which
+// elision schemes stay correct and fast on which profile, and DESIGN.md §15
+// specifies each axis's semantics.
+#ifndef RWLE_SRC_HTM_HW_PROFILE_H_
+#define RWLE_SRC_HTM_HW_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/htm/htm_config.h"
+
+namespace rwle {
+
+struct HwProfile {
+  std::string name;
+  std::string description;
+  HtmConfig config;
+};
+
+// All profiles, default ("power8") first. The list is the authoritative
+// source for --hw validation, --list-hw, and the portability sweep.
+const std::vector<HwProfile>& AllHwProfiles();
+
+// Null if no profile has that name.
+const HwProfile* FindHwProfile(const std::string& name);
+
+}  // namespace rwle
+
+#endif  // RWLE_SRC_HTM_HW_PROFILE_H_

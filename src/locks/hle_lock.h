@@ -48,17 +48,36 @@ class HleLock {
 
     for (std::uint32_t attempt = 0; attempt < max_retries_; ++attempt) {
       try {
-        // Wait for any serial-path holder, then speculate with the lock in
-        // the read set (eager subscription).
-        std::uint32_t spins = 0;
-        while (lock_.State() != LockState::kFree) {
-          SpinBackoff(spins++);
+        if (runtime.config().subscription == SubscriptionPolicy::kEager) {
+          // Wait for any serial-path holder before speculating. Lazy
+          // subscription skips this too: its defining property is that the
+          // lock is not examined -- and so cannot be waited on -- until
+          // commit time.
+          std::uint32_t spins = 0;
+          while (lock_.State() != LockState::kFree) {
+            SpinBackoff(spins++);
+          }
         }
         runtime.TxBegin(TxKind::kHtm);
-        if (lock_.State() != LockState::kFree) {
-          runtime.TxAbort(AbortCause::kExplicit);  // throws
+        if (runtime.config().subscription == SubscriptionPolicy::kEager) {
+          // Eager subscription: the transactional load puts the lock word
+          // in the read set, so a later serial acquisition dooms us before
+          // we can observe the holder's partial writes.
+          if (lock_.State() != LockState::kFree) {
+            runtime.TxAbort(AbortCause::kExplicit);  // throws
+          }
         }
         fn();
+        if (runtime.config().subscription == SubscriptionPolicy::kLazy) {
+          // Lazy subscription: the first (and only) look at the lock is
+          // just before commit. Cheaper when the lock is rarely held, but
+          // unsafe without hardware support (Dice et al.): fn() above may
+          // already have run as a zombie over a serial holder's torn state.
+          // The lazy-sub litmus demonstrates exactly that (PORTABILITY.md).
+          if (lock_.State() != LockState::kFree) {
+            runtime.TxAbort(AbortCause::kExplicit);  // throws
+          }
+        }
         runtime.TxCommit();
         stats_.RecordCommit(CommitPath::kHtm);
         return;

@@ -6,6 +6,7 @@
 #include "src/htm/abort.h"
 #include "src/htm/htm_runtime.h"
 #include "src/locks/bravo_lock.h"
+#include "src/locks/hle_lock.h"
 #include "src/memory/tx_var.h"
 #include "src/rwle/path_policy.h"
 #include "src/rwle/rwle_lock.h"
@@ -373,6 +374,122 @@ class ChopPieceAbort final : public LitmusRun {
   TxVar<std::uint64_t> noise_{0};
 };
 
+// The Dice et al. lazy-subscription hazard, hardware-profile dependent. An
+// HLE fast path that defers its fallback-lock check to commit time can run
+// as a zombie over a serial holder's partial writes. The writer's body
+// self-aborts every speculative attempt (explicit aborts are not
+// persistent, so it burns its retries and lands on the serial path
+// deterministically); the reader speculates and checks the two-cell
+// invariant, recording a violation through a plain (non-fabric) flag that
+// survives the reader's own doom. Under SubscriptionPolicy::kEager (the
+// power8 default) the serial acquisition dooms subscribed readers before
+// any torn read, so Verify cannot fail; under --hw=lazy-hle the zombie
+// window is real and the explorer finds it (PORTABILITY.md walks the trace).
+class LazySub final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 2;
+  static constexpr std::uint64_t kWrites = 1;
+
+  void Thread(std::uint32_t tid) override {
+    HtmRuntime& runtime = HtmRuntime::Global();
+    if (tid == 0) {
+      for (std::uint64_t i = 0; i < kWrites; ++i) {
+        lock_.Write([this, &runtime] {
+          if (runtime.InTx()) {
+            runtime.TxAbort(AbortCause::kExplicit);  // force the serial path
+          }
+          x_.Store(x_.Load() + 1);
+          y_.Store(y_.Load() + 1);
+        });
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 2 * kWrites; ++i) {
+        lock_.Read([this] {
+          if (x_.Load() != y_.Load()) {
+            torn_ = true;
+          }
+        });
+      }
+    }
+  }
+
+  bool Verify() override {
+    return !torn_ && x_.Load() == kWrites && y_.Load() == kWrites;
+  }
+
+ private:
+  HleLock lock_{/*max_retries=*/2};
+  TxVar<std::uint64_t> x_{0};
+  TxVar<std::uint64_t> y_{0};
+  bool torn_ = false;  // written only by the reader thread
+};
+
+// The FORTH limited-tracking hazard, hardware-profile dependent. The
+// reader's filler loads exhaust its tracked read set (kFiller matches the
+// limited-k profile's K), pushing the x/y pair into the untracked tail:
+// lines there carry no read monitor, so the writer's commit between the two
+// pair loads dooms nobody and the reader *commits* a torn snapshot -- a
+// committed serializability violation, strictly worse than lazy-sub's
+// zombie observation. Under full tracking (power8) the pair is monitored
+// and requester-wins dooming makes a torn commit impossible.
+class LimitedScan final : public LitmusRun {
+ public:
+  static constexpr std::uint32_t kThreads = 2;
+  static constexpr std::uint64_t kRounds = 2;
+  static constexpr std::size_t kFiller = 16;  // == limited-k tracked_read_lines
+
+  void Thread(std::uint32_t tid) override {
+    HtmRuntime& runtime = HtmRuntime::Global();
+    if (tid == 0) {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        try {
+          runtime.TxBegin(TxKind::kHtm);
+          x_.Store(round + 1);
+          y_.Store(round + 1);
+          runtime.TxCommit();
+        } catch (const TxAbortException&) {
+          // Doomed by the reader (requester wins under full tracking).
+        }
+      }
+    } else {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        try {
+          runtime.TxBegin(TxKind::kHtm);
+          std::uint64_t sum = 0;
+          for (std::size_t i = 0; i < kFiller; ++i) {
+            sum += filler_[i].value.Load();
+          }
+          const std::uint64_t a = x_.Load();
+          const std::uint64_t b = y_.Load();
+          runtime.TxCommit();
+          (void)sum;
+          if (a != b) {
+            torn_committed_ = true;  // the torn snapshot survived commit
+          }
+        } catch (const TxAbortException&) {
+          // Conflict with the writer; consistency preserved by the abort.
+        }
+      }
+    }
+  }
+
+  bool Verify() override { return !torn_committed_; }
+
+ private:
+  // One conflict-table line per cell (cells within a 128-byte line share a
+  // slot), so the filler really occupies kFiller distinct tracked lines and
+  // x/y land beyond the bound.
+  struct alignas(128) PaddedVar {
+    TxVar<std::uint64_t> value{0};
+  };
+
+  PaddedVar filler_[kFiller];
+  PaddedVar x_pad_, y_pad_;
+  TxVar<std::uint64_t>& x_ = x_pad_.value;
+  TxVar<std::uint64_t>& y_ = y_pad_.value;
+  bool torn_committed_ = false;  // written only by the reader thread
+};
+
 }  // namespace
 
 const std::vector<LitmusSpec>& AllLitmus() {
@@ -404,6 +521,13 @@ const std::vector<LitmusSpec>& AllLitmus() {
        "lock-free stores doom chopped pieces; every unwind must discard carryover",
        ChopPieceAbort::kThreads, /*intentionally_buggy=*/false,
        &ArenaMake<ChopPieceAbort>},
+      {"lazy-sub",
+       "HLE reader vs serial writer; torn reads reachable under --hw=lazy-hle",
+       LazySub::kThreads, /*intentionally_buggy=*/false, &ArenaMake<LazySub>},
+      {"limited-scan",
+       "reader footprint exceeds tracked lines; torn commit under --hw=limited-k",
+       LimitedScan::kThreads, /*intentionally_buggy=*/false,
+       &ArenaMake<LimitedScan>},
   };
   return specs;
 }

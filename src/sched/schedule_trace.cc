@@ -50,6 +50,9 @@ bool WriteTraceFile(const std::string& path, const ScheduleTrace& trace) {
   }
   out << "rwle-schedule-trace v1\n";
   out << "workload " << trace.workload << "\n";
+  if (!trace.hw.empty()) {
+    out << "hw " << trace.hw << "\n";
+  }
   out << "threads " << trace.threads << "\n";
   out << "seed " << trace.seed << "\n";
   out << "strategy " << trace.strategy << "\n";
@@ -96,6 +99,8 @@ bool ReadTraceFile(const std::string& path, ScheduleTrace* trace, std::string* e
     fields >> key;
     if (key == "workload") {
       fields >> trace->workload;
+    } else if (key == "hw") {
+      fields >> trace->hw;
     } else if (key == "threads") {
       fields >> trace->threads;
     } else if (key == "seed") {

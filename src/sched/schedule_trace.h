@@ -11,6 +11,7 @@
 //
 //   rwle-schedule-trace v1
 //   workload lost-update
+//   hw lazy-hle
 //   threads 2
 //   seed 42
 //   strategy random
@@ -19,6 +20,10 @@
 //   failure verify-failed
 //   hash 0123456789abcdef
 //   choices 0:fabric-load 1:fabric-store ...
+//
+// `hw` is the hardware profile (src/htm/hw_profile.h) the schedule ran
+// under; absent means the default (power8). --replay re-applies it, so a
+// repro found under an alternative TM model reproduces standalone.
 //
 // `failure` is absent for passing schedules. `hash` is the FNV-1a hash over
 // the recorded (tid, point) steps; a faithful replay reproduces it exactly.
@@ -44,6 +49,8 @@ struct ScheduleStep {
 
 struct ScheduleTrace {
   std::string workload;
+  // Hardware profile name the schedule ran under; empty = default (power8).
+  std::string hw;
   std::uint32_t threads = 0;
   std::uint64_t seed = 0;
   std::string strategy;

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "src/common/cpu.h"
 #include "src/common/thread_registry.h"
@@ -404,6 +405,21 @@ struct ServiceSnapshot {
   std::uint64_t slo_p99_ns = 0;  // 0 = no target configured
   std::uint64_t slo_p999_ns = 0;
   bool slo_met = false;
+};
+
+// Portability-matrix measurement (bench/scenarios/portability.cc): one
+// benchmark cell run under a named hardware profile (src/htm/hw_profile.h),
+// with the workload's own pair-invariant checks folded in. `torn_observed`
+// counts section executions that saw a half-updated pair (zombie windows
+// included -- the lazy-subscription hazard); `torn_committed` counts
+// sections whose *final* execution still saw one (the section was not
+// aborted afterwards -- the limited-tracking hazard). An empty hw_profile
+// means "not a portability run" and the serializer omits the block. Field
+// names are serialized verbatim as JSON keys (stats_keys.json manifest).
+struct PortabilitySnapshot {
+  std::string hw_profile;
+  std::uint64_t torn_observed = 0;
+  std::uint64_t torn_committed = 0;
 };
 
 struct ThreadStats {

@@ -13,6 +13,10 @@
 #include "src/memory/paging_model.h"
 #include "src/memory/tx_var.h"
 
+#ifdef RWLE_ANALYSIS
+#include "src/analysis/txsan.h"
+#endif
+
 namespace rwle {
 namespace {
 
@@ -447,6 +451,132 @@ TEST_F(HtmRuntimeTest, DoomedSuspendedEscapeRegionKeepsRunning) {
   victim.join();
   EXPECT_EQ(a.LoadDirect(), 42u);
   EXPECT_EQ(scratch.LoadDirect(), 7u);
+}
+
+// --- FORTH-style limited tracking (HtmConfig::tracked_read_lines etc.) ---
+//
+// Only the first K distinct lines are conflict-tracked; line K+1 is
+// invisible to detection, so a conflicting store there neither dooms the
+// reader nor registers anywhere. The txsan oracle must agree that this is
+// *modeled hardware behavior*, not a data race: in analysis builds the
+// _analysis ctest variant runs these same cases with abort_on_violation on,
+// and the explicit violation-count delta below pins it down.
+
+TEST_F(HtmRuntimeTest, LimitedTrackingIgnoresConflictBeyondTrackedLines) {
+  HtmConfig config = Rt().config();
+  config.tracked_read_lines = 2;
+  Rt().set_config(config);
+
+#ifdef RWLE_ANALYSIS
+  const std::uint64_t violations_before = txsan::TxSan::Global().violation_count();
+#endif
+
+  struct alignas(kCacheLineBytes) Cell {
+    TxVar<std::uint64_t> v;
+  };
+  std::vector<Cell> cells(3);
+  std::atomic<int> phase{0};
+
+  std::thread reader([&] {
+    ScopedThreadSlot slot;
+    Rt().TxBegin(TxKind::kHtm);
+    (void)cells[0].v.Load();  // tracked line 1
+    (void)cells[1].v.Load();  // tracked line 2
+    EXPECT_EQ(cells[2].v.Load(), 0u);  // line K+1: untracked
+    phase.store(1);
+    while (phase.load() != 2) {
+      std::this_thread::yield();
+    }
+    // The conflicting store on the untracked line did not doom us -- a
+    // re-read even observes the new value mid-transaction (torn snapshot),
+    // and the commit goes through. This is the limited-tracking hazard the
+    // portability matrix measures; a full-tracking facility would have
+    // doomed the transaction at the store.
+    EXPECT_EQ(cells[2].v.Load(), 99u);
+    Rt().TxCommit();
+  });
+
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+  cells[2].v.Store(99);  // non-tx store into the *untracked* part of the scan
+  phase.store(2);
+  reader.join();
+
+#ifdef RWLE_ANALYSIS
+  // Losing the conflict is the configured TM model at work, not a race:
+  // the oracle's write mirror marks untracked entries exempt.
+  EXPECT_EQ(txsan::TxSan::Global().violation_count(), violations_before);
+#endif
+}
+
+TEST_F(HtmRuntimeTest, LimitedTrackingStillDoomsWithinTrackedLines) {
+  HtmConfig config = Rt().config();
+  config.tracked_read_lines = 2;
+  Rt().set_config(config);
+
+  struct alignas(kCacheLineBytes) Cell {
+    TxVar<std::uint64_t> v;
+  };
+  std::vector<Cell> cells(3);
+  std::atomic<int> phase{0};
+
+  std::thread reader([&] {
+    ScopedThreadSlot slot;
+    Rt().TxBegin(TxKind::kHtm);
+    (void)cells[0].v.Load();  // tracked
+    (void)cells[1].v.Load();  // tracked
+    (void)cells[2].v.Load();  // untracked
+    phase.store(1);
+    while (phase.load() != 2) {
+      std::this_thread::yield();
+    }
+    // Same scan, but the store hit a *tracked* line: doomed as usual.
+    EXPECT_THROW(
+        {
+          (void)cells[0].v.Load();
+          Rt().TxCommit();
+        },
+        TxAbortException);
+  });
+
+  while (phase.load() != 1) {
+    std::this_thread::yield();
+  }
+  cells[0].v.Store(99);
+  phase.store(2);
+  reader.join();
+}
+
+TEST_F(HtmRuntimeTest, LimitedTrackingDisablesCapacityAborts) {
+  // A limited-tracking facility does not *abort* past its budget -- it
+  // silently stops tracking (the whole point of the hazard). Both capacity
+  // limits are set below the footprint to prove neither fires, and every
+  // buffered store must still be written back on commit.
+  ScopedThreadSlot slot;
+  HtmConfig config = Rt().config();
+  config.max_read_lines = 4;
+  config.max_write_lines = 4;
+  config.tracked_read_lines = 4;
+  config.tracked_write_lines = 4;
+  Rt().set_config(config);
+
+  struct alignas(kCacheLineBytes) Cell {
+    TxVar<std::uint64_t> v;
+  };
+  std::vector<Cell> cells(10);
+
+  Rt().TxBegin(TxKind::kHtm);
+  for (auto& cell : cells) {
+    (void)cell.v.Load();  // 10 lines > max_read_lines: no kCapacityRead
+  }
+  for (auto& cell : cells) {
+    cell.v.Store(7);  // 10 lines > max_write_lines: no kCapacityWrite
+  }
+  Rt().TxCommit();
+  for (auto& cell : cells) {
+    EXPECT_EQ(cell.v.LoadDirect(), 7u);
+  }
 }
 
 TEST_F(HtmRuntimeTest, CountersTrackCommitsAndAborts) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/json_writer.h"
+#include "src/htm/hw_profile.h"
 
 namespace rwle {
 namespace {
@@ -334,6 +335,13 @@ RunManifest TestManifest() {
   manifest.htm_config.max_read_lines = 64;
   manifest.htm_config.max_write_lines = 32;
   manifest.htm_config.yield_access_period = 16;
+  // Non-default values on every TM-model axis, so the round trip proves
+  // the serializer does not silently emit the defaults.
+  manifest.htm_config.subscription = SubscriptionPolicy::kLazy;
+  manifest.htm_config.resolution = ResolutionPolicy::kCommitterWins;
+  manifest.htm_config.tracked_read_lines = 16;
+  manifest.htm_config.tracked_write_lines = 8;
+  manifest.hw_profile = "lazy-limited";
   manifest.git_sha = "abc123def456";
   manifest.created_unix = 1754500000;
   return manifest;
@@ -389,6 +397,12 @@ TEST(ResultSerializerTest, ManifestRoundTrips) {
   EXPECT_EQ(manifest.At("htm_config").At("max_read_lines").AsUint(), 64u);
   EXPECT_EQ(manifest.At("htm_config").At("max_write_lines").AsUint(), 32u);
   EXPECT_EQ(manifest.At("htm_config").At("yield_access_period").AsUint(), 16u);
+  EXPECT_EQ(manifest.At("htm_config").At("subscription").AsString(), "lazy");
+  EXPECT_EQ(manifest.At("htm_config").At("resolution").AsString(),
+            "committer-wins");
+  EXPECT_EQ(manifest.At("htm_config").At("tracked_read_lines").AsUint(), 16u);
+  EXPECT_EQ(manifest.At("htm_config").At("tracked_write_lines").AsUint(), 8u);
+  EXPECT_EQ(manifest.At("hw_profile").AsString(), "lazy-limited");
   EXPECT_EQ(manifest.At("git_sha").AsString(), "abc123def456");
   EXPECT_EQ(manifest.At("created_unix").AsInt(), 1754500000);
   EXPECT_EQ(doc->At("scenarios").items[0]->At("results").items.size(), 0u);
@@ -660,6 +674,76 @@ TEST(ResultSerializerTest, ServiceBlockRoundTrips) {
   EXPECT_EQ(block.At("slo_p99_ns").AsUint(), 50000u);
   EXPECT_EQ(block.At("slo_p999_ns").AsUint(), 200000u);
   EXPECT_TRUE(block.At("slo_met").AsBool());
+}
+
+// Portability blocks: omitted when the run recorded no hardware profile
+// (every non-portability scenario), round-tripping the torn-read counters
+// when present, and the full --hw profile table surviving the manifest's
+// htm_config mirror so a matrix JSON is self-describing.
+TEST(ResultSerializerTest, PortabilityBlockIsOmittedWithoutProfile) {
+  JsonResultSink sink(TestManifest());
+  sink.Add("rwle-opt", 10.0, TestResult(2));  // TestResult names no profile
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+  const JsonValue& first = *doc->At("scenarios").items[0]->At("results").items[0];
+  EXPECT_FALSE(first.Has("portability"));
+}
+
+TEST(ResultSerializerTest, PortabilityBlockRoundTrips) {
+  RunResult result = TestResult(2);
+  result.portability.hw_profile = "limited-k";
+  result.portability.torn_observed = 17;
+  result.portability.torn_committed = 4;
+
+  JsonResultSink sink(TestManifest());
+  sink.Add("hle", 3.0, result);
+  std::ostringstream os;
+  WriteResultDocument(os, {&sink});
+  auto doc = ParseOrDie(os.str());
+  ASSERT_NE(doc, nullptr);
+
+  const JsonValue& block =
+      doc->At("scenarios").items[0]->At("results").items[0]->At("portability");
+  EXPECT_EQ(block.At("hw_profile").AsString(), "limited-k");
+  EXPECT_EQ(block.At("torn_observed").AsUint(), 17u);
+  EXPECT_EQ(block.At("torn_committed").AsUint(), 4u);
+}
+
+TEST(ResultSerializerTest, EveryHwProfileRoundTripsThroughManifest) {
+  for (const HwProfile& profile : AllHwProfiles()) {
+    SCOPED_TRACE(profile.name);
+    RunManifest manifest = TestManifest();
+    manifest.hw_profile = profile.name;
+    manifest.htm_config = profile.config;
+
+    JsonResultSink sink(manifest);
+    std::ostringstream os;
+    WriteResultDocument(os, {&sink});
+    auto doc = ParseOrDie(os.str());
+    ASSERT_NE(doc, nullptr);
+
+    const JsonValue& out = doc->At("scenarios").items[0]->At("manifest");
+    EXPECT_EQ(out.At("hw_profile").AsString(), profile.name);
+    const JsonValue& config = out.At("htm_config");
+    EXPECT_EQ(config.At("subscription").AsString(),
+              profile.config.subscription == SubscriptionPolicy::kLazy
+                  ? "lazy"
+                  : "eager");
+    EXPECT_EQ(config.At("resolution").AsString(),
+              profile.config.resolution == ResolutionPolicy::kCommitterWins
+                  ? "committer-wins"
+                  : "requester-wins");
+    EXPECT_EQ(config.At("tracked_read_lines").AsUint(),
+              profile.config.tracked_read_lines);
+    EXPECT_EQ(config.At("tracked_write_lines").AsUint(),
+              profile.config.tracked_write_lines);
+    EXPECT_EQ(config.At("max_read_lines").AsUint(),
+              profile.config.max_read_lines);
+    EXPECT_EQ(config.At("max_write_lines").AsUint(),
+              profile.config.max_write_lines);
+  }
 }
 
 TEST(ResultSerializerTest, MultipleScenariosKeepOrder) {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/htm/htm_runtime.h"
+#include "src/htm/hw_profile.h"
 #include "src/locks/lock_factory.h"
 
 namespace rwle {
@@ -18,7 +20,7 @@ namespace {
 
 const std::vector<std::string> kExpectedScenarios = {
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "ablation", "service", "fallback", "capacity"};
+    "ablation", "service", "fallback", "capacity", "portability"};
 
 TEST(ScenarioRegistryTest, EveryScenarioRegistersExactlyOnce) {
   RegisterAllScenarios();
@@ -45,6 +47,12 @@ TEST(ScenarioRegistryTest, SpecsAreWellFormed) {
     EXPECT_FALSE(spec.panel_label.empty());
     EXPECT_FALSE(spec.panel_values.empty());
     for (const double panel : spec.panel_values) {
+      if (spec.name == "portability") {
+        // Panels are 0-based indices into the hardware-profile table.
+        EXPECT_GE(panel, 0.0);
+        EXPECT_LT(panel, static_cast<double>(AllHwProfiles().size()));
+        continue;
+      }
       EXPECT_GT(panel, 0.0);
       // Figure panels are write-ratio fractions (at most 1); the service
       // scenario's panel is offered load as a fraction of modeled capacity,
@@ -152,6 +160,87 @@ TEST(ScenarioRegistryTest, RunDrivesFullGrid) {
   EXPECT_EQ(last.scheme, "rwle-opt");
   EXPECT_EQ(last.panel_value, spec->panel_values.back() * 100.0);
   EXPECT_EQ(last.threads, 2u);
+}
+
+// The portability sweep's panel axis must mirror the --hw profile table
+// one-to-one, in table order, or the matrix axes in PORTABILITY.md drift
+// from what the binary actually runs.
+TEST(ScenarioRegistryTest, PortabilityPanelsMirrorProfileTable) {
+  RegisterAllScenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::Global().Find("portability");
+  ASSERT_NE(spec, nullptr);
+  const auto& profiles = AllHwProfiles();
+  ASSERT_EQ(spec->panel_values.size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(spec->panel_values[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(spec->default_schemes,
+            (std::vector<std::string>{"hle", "rwle"}));
+}
+
+// A sink that additionally keeps each run's portability block, to check the
+// sweep stamps the profile it actually configured.
+class PortabilitySink : public ResultSink {
+ public:
+  void Add(const std::string& scheme, double panel_value,
+           const RunResult& result) override {
+    cells_.push_back({scheme, panel_value, result.portability});
+  }
+
+  struct Cell {
+    std::string scheme;
+    double panel_value;
+    PortabilitySnapshot portability;
+  };
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+TEST(ScenarioRegistryTest, PortabilityRunStampsProfilesAndRestoresConfig) {
+  RegisterAllScenarios();
+  const ScenarioSpec* spec = ScenarioRegistry::Global().Find("portability");
+  ASSERT_NE(spec, nullptr);
+
+  const HtmConfig before = HtmRuntime::Global().config();
+  BenchOptions options;
+  options.thread_counts = {2};
+  options.total_ops = 400;
+  options.seed = 11;
+  const std::vector<std::string> schemes = {"hle", "rwle"};
+
+  PortabilitySink sink;
+  spec->run(*spec, options, schemes, sink);
+
+  const auto& profiles = AllHwProfiles();
+  ASSERT_EQ(sink.cells().size(), profiles.size() * schemes.size());
+  for (std::size_t i = 0; i < sink.cells().size(); ++i) {
+    const auto& cell = sink.cells()[i];
+    SCOPED_TRACE(cell.scheme + "@" + cell.portability.hw_profile);
+    // Panel-major, scheme-minor, and the stamped profile name must be the
+    // table entry the panel index selects.
+    const auto panel = static_cast<std::size_t>(cell.panel_value);
+    EXPECT_EQ(panel, i / schemes.size());
+    EXPECT_EQ(cell.scheme, schemes[i % schemes.size()]);
+    ASSERT_LT(panel, profiles.size());
+    EXPECT_EQ(cell.portability.hw_profile, profiles[panel].name);
+    // The deterministic safety rows: full tracking never lets a torn scan
+    // commit on power8, and rwle's quiescence protects its readers on every
+    // profile. The other cells' counters are interleaving-dependent and are
+    // deliberately not asserted here.
+    if (cell.portability.hw_profile == "power8" || cell.scheme == "rwle") {
+      EXPECT_EQ(cell.portability.torn_committed, 0u);
+    }
+  }
+  // The sweep mutates the global TM model per cell and must put it back.
+  const HtmConfig after = HtmRuntime::Global().config();
+  EXPECT_EQ(after.subscription, before.subscription);
+  EXPECT_EQ(after.resolution, before.resolution);
+  EXPECT_EQ(after.tracked_read_lines, before.tracked_read_lines);
+  EXPECT_EQ(after.tracked_write_lines, before.tracked_write_lines);
+  EXPECT_EQ(after.max_read_lines, before.max_read_lines);
+  EXPECT_EQ(after.max_write_lines, before.max_write_lines);
 }
 
 }  // namespace

@@ -93,9 +93,13 @@ def load_perf_benches(doc, path):
 def load_runs(doc, path):
     """Returns {key: run_dict} for every result in an rwle_bench document.
 
-    Key is (scenario, scheme, panel_value, threads). Exits with code 2 on
-    malformed documents so gating failures are distinguishable from I/O or
-    schema problems.
+    Key is (scenario, scheme, panel_value, threads, hw_profile); the
+    hardware profile comes from the run's own "portability" block (the
+    portability scenario names it per cell) or the manifest's hw_profile
+    (a whole-invocation --hw run), and is "" for default-config documents
+    -- so a lazy-hle sweep never silently gates against a power8 baseline.
+    Exits with code 2 on malformed documents so gating failures are
+    distinguishable from I/O or schema problems.
     """
     runs = {}
     for scenario in doc.get("scenarios", []):
@@ -103,11 +107,15 @@ def load_runs(doc, path):
         name = manifest.get("scenario", "?")
         for run in scenario.get("results", []):
             try:
+                hw_profile = run.get("portability", {}).get(
+                    "hw_profile", manifest.get("hw_profile", "")
+                )
                 key = (
                     name,
                     run["scheme"],
                     float(run["panel_value"]),
                     int(run["threads"]),
+                    hw_profile,
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 print(
@@ -135,8 +143,9 @@ def abort_rate_pct(run):
 
 
 def format_key(key):
-    scenario, scheme, panel, threads = key
-    return f"{scenario}/{scheme} panel={panel:g} threads={threads}"
+    scenario, scheme, panel, threads, hw_profile = key
+    hw = f" hw={hw_profile}" if hw_profile else ""
+    return f"{scenario}/{scheme} panel={panel:g} threads={threads}{hw}"
 
 
 def lookup_override(overrides, key, default):
@@ -324,6 +333,23 @@ def main():
                 f"{abort_rate_pct(cur_run):.1f}%, "
                 f"threshold {abort_delta:g}pp)"
             )
+
+        # Portability safety gate: a cell whose baseline committed no torn
+        # reads must stay clean -- torn_committed going 0 -> nonzero means a
+        # scheme lost its safety argument under that hardware profile, which
+        # no throughput threshold should be able to absorb. (Raw counts are
+        # interleaving-dependent, so already-dirty cells are not gated.)
+        base_port = base_run.get("portability")
+        cur_port = cur_run.get("portability")
+        if base_port is not None and cur_port is not None:
+            base_torn = int(base_port.get("torn_committed", 0))
+            cur_torn = int(cur_port.get("torn_committed", 0))
+            if base_torn == 0 and cur_torn > 0:
+                failures.append(
+                    f"{format_key(key)}: torn_committed went 0 -> {cur_torn} "
+                    f"(a previously clean scheme/profile cell now commits "
+                    f"torn reads)"
+                )
 
     missing_current = sorted(set(baseline) - set(current))
     missing_baseline = sorted(set(current) - set(baseline))
