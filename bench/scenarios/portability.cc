@@ -131,10 +131,26 @@ class PairTable {
   std::vector<PaddedCell> spill_;
 };
 
+// Restores the runtime's HtmConfig on scope exit, so a profile's config
+// (lazy subscription, limited tracking, ...) cannot leak into scenarios run
+// after this one even if the sweep unwinds via an exception.
+class ScopedHtmConfig {
+ public:
+  explicit ScopedHtmConfig(HtmRuntime& runtime)
+      : runtime_(runtime), saved_(runtime.config()) {}
+  ~ScopedHtmConfig() { runtime_.set_config(saved_); }
+  ScopedHtmConfig(const ScopedHtmConfig&) = delete;
+  ScopedHtmConfig& operator=(const ScopedHtmConfig&) = delete;
+
+ private:
+  HtmRuntime& runtime_;
+  const HtmConfig saved_;
+};
+
 void RunPortabilitySweep(const ScenarioSpec& spec, const BenchOptions& options,
                          const std::vector<std::string>& schemes, ResultSink& sink) {
   HtmRuntime& runtime = HtmRuntime::Global();
-  const HtmConfig saved = runtime.config();
+  const ScopedHtmConfig restore_config(runtime);
   const std::vector<HwProfile>& profiles = AllHwProfiles();
 
   for (const double panel : spec.panel_values) {
@@ -208,7 +224,6 @@ void RunPortabilitySweep(const ScenarioSpec& spec, const BenchOptions& options,
       }
     }
   }
-  runtime.set_config(saved);
 }
 
 }  // namespace

@@ -751,15 +751,27 @@ bool HtmRuntime::ClaimLineForWrite(TxContext& ctx, std::atomic<std::uint64_t>* c
     }
     if (current != 0) {
       if (config_.resolution == ResolutionPolicy::kCommitterWins) {
-        if (OwnerCommitting(current)) {
-          WaitWhileCommitting(current);
-          SpinBackoff(spins++);
-          continue;
-        }
-        if (OwnerLive(current)) {
-          // Committer-wins: the incumbent owner keeps the line and the
-          // requester loses -- self-abort instead of dooming it.
-          AbortSelf(ctx, AbortCause::kConflictTx);  // throws
+        // Single status snapshot per iteration (mirrors TryDoomOwner): two
+        // separate committing/live probes would misclassify an owner moving
+        // ACTIVE->COMMITTING between them as dead and CAS-steal the line
+        // from a mid-write-back committer.
+        const std::uint64_t status =
+            contexts_[OwnerTokenSlot(current)].status_.load();
+        if (StatusEpoch(status) == OwnerTokenEpoch(current)) {
+          switch (StatusPhase(status)) {
+            case TxPhase::kCommitting:
+              WaitWhileCommitting(current);
+              SpinBackoff(spins++);
+              continue;
+            case TxPhase::kActive:
+            case TxPhase::kSuspended:
+              // Committer-wins: the incumbent owner keeps the line and the
+              // requester loses -- self-abort instead of dooming it.
+              AbortSelf(ctx, AbortCause::kConflictTx);  // throws
+            case TxPhase::kIdle:
+            case TxPhase::kDoomed:
+              break;  // dead owner: its speculative state can never commit
+          }
         }
         // Dead or stale owner: take over its field directly.
         if (!slot.writer.compare_exchange_strong(current, my_token)) {

@@ -244,18 +244,15 @@ class HtmRuntime {
                    AbortCause cause);
   void WaitWhileCommitting(OwnerToken token);
 
-  // Non-dooming owner probes for the committer-wins resolution policy,
-  // which must inspect an owner's state without disturbing it.
+  // Non-dooming owner probe for the committer-wins resolution policy,
+  // which must inspect an owner's state without disturbing it. Callers that
+  // must distinguish committing from live owners take one status snapshot
+  // and switch on its phase instead (see ClaimLineForWrite): two separate
+  // probes would misclassify an owner racing ACTIVE->COMMITTING as dead.
   bool OwnerCommitting(OwnerToken token) {
     const std::uint64_t status = contexts_[OwnerTokenSlot(token)].status_.load();
     return StatusEpoch(status) == OwnerTokenEpoch(token) &&
            StatusPhase(status) == TxPhase::kCommitting;
-  }
-  bool OwnerLive(OwnerToken token) {
-    const std::uint64_t status = contexts_[OwnerTokenSlot(token)].status_.load();
-    const TxPhase phase = StatusPhase(status);
-    return StatusEpoch(status) == OwnerTokenEpoch(token) &&
-           (phase == TxPhase::kActive || phase == TxPhase::kSuspended);
   }
 
   std::uint64_t TxLoad(TxContext& ctx, std::atomic<std::uint64_t>* cell);

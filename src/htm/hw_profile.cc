@@ -19,16 +19,16 @@ HtmConfig CommitterWins() {
 
 HtmConfig LimitedK() {
   HtmConfig config;
-  config.tracked_read_lines = 16;
-  config.tracked_write_lines = 16;
+  config.tracked_read_lines = kLimitedKTrackedLines;
+  config.tracked_write_lines = kLimitedKTrackedLines;
   return config;
 }
 
 HtmConfig LazyLimited() {
   HtmConfig config;
   config.subscription = SubscriptionPolicy::kLazy;
-  config.tracked_read_lines = 16;
-  config.tracked_write_lines = 16;
+  config.tracked_read_lines = kLimitedKTrackedLines;
+  config.tracked_write_lines = kLimitedKTrackedLines;
   return config;
 }
 

@@ -6,12 +6,18 @@
 #ifndef RWLE_SRC_HTM_HW_PROFILE_H_
 #define RWLE_SRC_HTM_HW_PROFILE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/htm/htm_config.h"
 
 namespace rwle {
+
+// K of the limited-tracking profiles (limited-k, lazy-limited). Shared with
+// the LimitedScan litmus, whose filler array must exhaust exactly this many
+// tracked read lines to push its x/y pair into the untracked tail.
+inline constexpr std::uint32_t kLimitedKTrackedLines = 16;
 
 struct HwProfile {
   std::string name;

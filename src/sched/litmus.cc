@@ -5,6 +5,7 @@
 #include "src/chop/chopped_section.h"
 #include "src/htm/abort.h"
 #include "src/htm/htm_runtime.h"
+#include "src/htm/hw_profile.h"
 #include "src/locks/bravo_lock.h"
 #include "src/locks/hle_lock.h"
 #include "src/memory/tx_var.h"
@@ -436,7 +437,10 @@ class LimitedScan final : public LitmusRun {
  public:
   static constexpr std::uint32_t kThreads = 2;
   static constexpr std::uint64_t kRounds = 2;
-  static constexpr std::size_t kFiller = 16;  // == limited-k tracked_read_lines
+  // The limited-k profile's K, so the filler exhausts the tracked read set
+  // exactly; sourced from the same constant hw_profile.cc builds the
+  // profiles from, so changing K cannot silently defuse this litmus.
+  static constexpr std::size_t kFiller = kLimitedKTrackedLines;
 
   void Thread(std::uint32_t tid) override {
     HtmRuntime& runtime = HtmRuntime::Global();
